@@ -1,0 +1,17 @@
+"""Ablation: segment-cleaner overhead on a fragmented log — the cost
+of the piece the paper's prototype left unimplemented."""
+
+from conftest import run_once
+
+from repro.experiments import ablations
+
+
+def test_ablation_cleaner(benchmark, show):
+    result = run_once(benchmark, ablations.run_cleaner, quick=True)
+    show(result)
+    scalars = result.scalars
+    # Cleaning costs something but the log keeps flowing.
+    assert scalars["fragmented_with_cleaner_mb_s"] > 0
+    assert 0.0 <= scalars["cleaner_overhead_fraction"] < 0.9
+    assert (scalars["fragmented_with_cleaner_mb_s"]
+            <= scalars["fresh_log_mb_s"])

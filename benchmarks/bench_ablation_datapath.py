@@ -1,0 +1,17 @@
+"""Ablation: the high-bandwidth data path vs forcing data through the
+host — the paper's core architectural argument."""
+
+from conftest import run_once
+
+from repro.experiments import ablations
+
+
+def test_ablation_datapath(benchmark, show):
+    result = run_once(benchmark, ablations.run_datapath, quick=True)
+    show(result)
+    scalars = result.scalars
+    # Routed through the host, the server collapses to RAID-I-class
+    # bandwidth (the ~2.3 MB/s memory-system ceiling).
+    assert scalars["through_host_mb_s"] < 4.0
+    assert scalars["xbus_path_mb_s"] > 15.0
+    assert scalars["speedup"] > 5.0

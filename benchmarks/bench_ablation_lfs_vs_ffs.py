@@ -1,0 +1,18 @@
+"""Ablation: LFS vs a traditional update-in-place FS for small writes
+on RAID 5 (the four-access small-write penalty, Section 3.1)."""
+
+from conftest import run_once
+
+from repro.experiments import ablations
+
+
+def test_ablation_lfs_vs_ffs(benchmark, show):
+    result = run_once(benchmark, ablations.run_lfs_vs_ffs, quick=True)
+    show(result)
+    scalars = result.scalars
+    # The traditional FS pays ~4 disk accesses per small write.
+    assert scalars["ffs_disk_ops_per_write"] > 3.0
+    # LFS batches them into segment writes: far fewer disk ops each...
+    assert scalars["lfs_disk_ops_per_write"] < 1.5
+    # ...and a large end-to-end speedup.
+    assert scalars["lfs_speedup"] > 3.0

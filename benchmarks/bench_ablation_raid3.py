@@ -1,0 +1,15 @@
+"""Ablation: RAID 5 vs RAID 3 under concurrent small reads — why
+RAID-II's crossbar + Level 5 beats HPDS's Level 3 for small I/O
+(Section 4.2)."""
+
+from conftest import run_once
+
+from repro.experiments import ablations
+
+
+def test_ablation_raid3(benchmark, show):
+    result = run_once(benchmark, ablations.run_raid3, quick=True)
+    show(result)
+    # RAID 5 scales with concurrency; RAID 3 is one-at-a-time.
+    assert result.scalars["raid5_scaling_1_to_8"] > 2.5
+    assert result.scalars["raid3_scaling_1_to_8"] < 1.5

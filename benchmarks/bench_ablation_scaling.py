@@ -1,0 +1,20 @@
+"""Ablation: server bandwidth scaling with additional XBUS boards
+(Section 2.1.2)."""
+
+from conftest import run_once
+
+from repro.experiments import ablations
+
+
+def test_ablation_scaling(benchmark, show):
+    result = run_once(benchmark, ablations.run_scaling, quick=True)
+    show(result)
+    series = result.series_named("aggregate bandwidth")
+    # Each board adds bandwidth: four boards deliver at least ~3x one.
+    assert result.scalars["scaling_efficiency"] > 0.75
+    assert series.y_at(4) > 3 * series.y_at(1) * 0.75
+    # The host CPU load grows with boards but stays far from saturation
+    # (only control operations touch the host).
+    util = result.series_named("host CPU utilization")
+    assert util.y_at(4) < 0.5
+    assert util.y_at(4) > util.y_at(1)

@@ -1,0 +1,16 @@
+"""Extension: array bandwidth under failure and during rebuild."""
+
+from conftest import run_once
+
+from repro.experiments import degraded_mode
+
+
+def test_degraded_mode(benchmark, show):
+    result = run_once(benchmark, degraded_mode.run, quick=True)
+    show(result)
+    scalars = result.scalars
+    # Degraded mode costs bandwidth but far from all of it.
+    assert 0.3 < scalars["degraded_fraction"] < 1.0
+    # Rebuilding steals more, but the server keeps serving.
+    assert scalars["during_rebuild_mb_s"] > 0.2 * scalars["healthy_mb_s"]
+    assert scalars["rebuild_rate_mb_s"] > 0

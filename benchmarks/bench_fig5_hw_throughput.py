@@ -1,0 +1,21 @@
+"""Figure 5: hardware system level random read/write throughput."""
+
+from conftest import run_once
+
+from repro.experiments import fig5_hw_throughput
+
+
+def test_fig5_hw_throughput(benchmark, show):
+    result = run_once(benchmark, fig5_hw_throughput.run, quick=True)
+    show(result)
+    reads = result.series_named("random reads")
+    writes = result.series_named("random writes")
+    # Plateau near the paper's ~20 MB/s for reads.
+    assert 16 < result.scalars["read_plateau_mb_s"] < 26
+    # Writes land below reads but in the same order of magnitude.
+    assert 10 < result.scalars["write_plateau_mb_s"] < 22
+    assert (result.scalars["write_plateau_mb_s"]
+            < result.scalars["read_plateau_mb_s"])
+    # Throughput grows with request size (amortized positioning costs).
+    assert reads.points[0].y < reads.points[-1].y / 4
+    assert writes.points[0].y < writes.points[-1].y / 4

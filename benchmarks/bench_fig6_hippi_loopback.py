@@ -1,0 +1,16 @@
+"""Figure 6: HIPPI loopback throughput vs transfer size."""
+
+from conftest import run_once
+
+from repro.experiments import fig6_hippi_loopback
+
+
+def test_fig6_hippi_loopback(benchmark, show):
+    result = run_once(benchmark, fig6_hippi_loopback.run, quick=True)
+    show(result)
+    series = result.series_named("loopback throughput")
+    # Paper: 38.5 MB/s in each direction at large transfers.
+    assert 36 < result.scalars["loopback_plateau_mb_s"] < 39.5
+    # Small transfers dominated by the ~1.1 ms setup overhead.
+    assert 0.8 < result.scalars["packet_overhead_ms"] < 1.5
+    assert series.points[0].y < series.points[-1].y / 3

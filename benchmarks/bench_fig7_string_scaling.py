@@ -1,0 +1,19 @@
+"""Figure 7: disk read performance vs disks on one SCSI string."""
+
+from conftest import run_once
+
+from repro.experiments import fig7_string_scaling
+
+
+def test_fig7_string_scaling(benchmark, show):
+    result = run_once(benchmark, fig7_string_scaling.run, quick=True)
+    show(result)
+    measured = result.series_named("measured")
+    linear = result.series_named("linear scaling (dashed)")
+    # One disk runs at its own ~2 MB/s; the string ceiling is ~3 MB/s.
+    assert 1.8 < result.scalars["single_disk_mb_s"] < 2.3
+    assert 2.7 < result.scalars["string_plateau_mb_s"] < 3.5
+    # Saturation: 3, 4 and 5 disks all deliver the same string-bound rate.
+    assert abs(measured.y_at(5) - measured.y_at(3)) < 0.2
+    # And the measured curve falls well short of linear scaling.
+    assert measured.y_at(5) < 0.5 * linear.y_at(5)

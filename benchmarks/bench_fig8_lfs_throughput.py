@@ -1,0 +1,16 @@
+"""Figure 8: LFS on RAID-II, random read/write bandwidth."""
+
+from conftest import run_once
+
+from repro.experiments import fig8_lfs_throughput
+
+
+def test_fig8_lfs_throughput(benchmark, show):
+    result = run_once(benchmark, fig8_lfs_throughput.run, quick=True)
+    show(result)
+    # Paper: reads up to ~20-21 MB/s, writes plateau near 15 MB/s.
+    assert 16 < result.scalars["read_plateau_mb_s"] < 26
+    assert 8 < result.scalars["write_plateau_mb_s"] < 18
+    # The headline LFS result: small random writes BEAT small random
+    # reads, because the log absorbs them into sequential segments.
+    assert result.scalars["small_write_over_small_read"] > 1.2

@@ -1,0 +1,20 @@
+"""Section 3.4: single SPARCstation client read/write over the Ultranet."""
+
+from conftest import run_once
+
+from repro.experiments import network_clients
+
+
+def test_network_client(benchmark, show):
+    result = run_once(benchmark, network_clients.run, quick=True)
+    show(result)
+    scalars = result.scalars
+    # Paper: 3.2 MB/s reads, 3.1 MB/s writes — client-limited.
+    assert 2.2 < scalars["client_read_mb_s"] < 4.2
+    assert 2.2 < scalars["client_write_mb_s"] < 4.2
+    # Host CPU utilization "close to zero" during client writes.
+    assert scalars["host_cpu_util_during_writes"] < 0.1
+    # The server scales past one client: three writers in aggregate
+    # deliver well above a single client's rate.
+    assert (scalars["aggregate_write_3_clients_mb_s"]
+            > 1.8 * scalars["client_write_mb_s"])

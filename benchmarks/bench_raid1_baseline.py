@@ -1,0 +1,18 @@
+"""Section 1: the RAID-I baseline and the order-of-magnitude claim."""
+
+from conftest import run_once
+
+from repro.experiments import raid1_baseline
+
+
+def test_raid1_baseline(benchmark, show):
+    result = run_once(benchmark, raid1_baseline.run, quick=True)
+    show(result)
+    scalars = result.scalars
+    # The famous ceiling: at best ~2.3 MB/s to a user application.
+    assert 2.0 < scalars["raid1_app_read_mb_s"] < 2.6
+    # One disk sustains ~1.3 MB/s, so nearly 26 of 28 disks are wasted.
+    assert 1.1 < scalars["raid1_single_disk_mb_s"] < 1.5
+    assert 24 < scalars["raid1_wasted_disks_of_28"] < 27.5
+    # RAID-II delivers an order of magnitude more.
+    assert scalars["improvement_factor"] > 7

@@ -1,0 +1,16 @@
+"""Section 3.1: LFS crash check vs UNIX-style fsck."""
+
+from conftest import run_once
+
+from repro.experiments import recovery_time
+
+
+def test_recovery_time(benchmark, show):
+    result = run_once(benchmark, recovery_time.run, quick=True)
+    show(result)
+    scalars = result.scalars
+    # The paper's qualitative claim: orders of magnitude apart.
+    assert scalars["fsck_over_lfs"] > 10
+    # And the absolute regimes: seconds-ish vs many minutes at 1 GB.
+    assert scalars["lfs_extrapolated_1gb_s"] < 120
+    assert scalars["fsck_extrapolated_1gb_min"] > 3

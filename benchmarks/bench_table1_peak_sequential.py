@@ -1,0 +1,17 @@
+"""Table 1: peak sequential read/write bandwidth."""
+
+from conftest import run_once
+
+from repro.experiments import table1_peak_sequential
+
+
+def test_table1_peak_sequential(benchmark, show):
+    result = run_once(benchmark, table1_peak_sequential.run, quick=True)
+    show(result)
+    read = result.scalars["sequential_read_mb_s"]
+    write = result.scalars["sequential_write_mb_s"]
+    # Paper: 31 read / 23 write.  Shape: both tens of MB/s, reads ahead
+    # by roughly the paper's 1.35x.
+    assert 24 < read < 34
+    assert 15 < write < 26
+    assert 1.15 < read / write < 1.75

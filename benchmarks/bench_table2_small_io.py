@@ -1,0 +1,20 @@
+"""Table 2: 4 KB random read I/O rates, RAID-I vs RAID-II."""
+
+from conftest import run_once
+
+from repro.experiments import table2_small_io
+
+
+def test_table2_small_io(benchmark, show):
+    result = run_once(benchmark, table2_small_io.run, quick=True)
+    show(result)
+    scalars = result.scalars
+    # Paper: RAID-II ~400 IO/s vs RAID-I ~275 on fifteen disks.
+    assert 330 < scalars["raid2_15disk_ios"] < 470
+    assert 230 < scalars["raid1_15disk_ios"] < 320
+    assert scalars["raid2_15disk_ios"] > scalars["raid1_15disk_ios"]
+    # Faster drives: the RAID-II single disk beats the RAID-I one.
+    assert scalars["raid2_1disk_ios"] > scalars["raid1_1disk_ios"]
+    # Both deliver a substantial fraction of their potential.
+    assert 0.5 < scalars["raid2_delivered_fraction"] <= 1.0
+    assert 0.5 < scalars["raid1_delivered_fraction"] <= 1.0

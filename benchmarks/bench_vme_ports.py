@@ -1,0 +1,14 @@
+"""Section 2.3: VME data-port sustained read/write rates."""
+
+from conftest import run_once
+
+from repro.experiments import vme_ports
+
+
+def test_vme_ports(benchmark, show):
+    result = run_once(benchmark, vme_ports.run, quick=True)
+    show(result)
+    # Paper: 6.9 MB/s reads, 5.9 MB/s writes.
+    assert 6.4 < result.scalars["vme_read_mb_s"] < 7.1
+    assert 5.4 < result.scalars["vme_write_mb_s"] < 6.1
+    assert result.scalars["vme_read_mb_s"] > result.scalars["vme_write_mb_s"]

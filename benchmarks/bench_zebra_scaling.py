@@ -1,0 +1,17 @@
+"""Section 5.2 future work, built and measured: Zebra striping across
+multiple RAID-II storage servers."""
+
+from conftest import run_once
+
+from repro.experiments import zebra_scaling
+
+
+def test_zebra_scaling(benchmark, show):
+    result = run_once(benchmark, zebra_scaling.run, quick=True)
+    show(result)
+    writes = result.series_named("log write bandwidth")
+    # More servers, more bandwidth: the whole point of Zebra.
+    assert result.scalars["write_scaling_3_to_max"] > 1.5
+    assert writes.points[-1].y > writes.points[0].y
+    # Surviving a server costs bandwidth but stays functional.
+    assert 0.2 < result.scalars["degraded_read_fraction"] <= 1.0

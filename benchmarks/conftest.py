@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables/figures via the
+matching ``repro.experiments`` module, prints the series next to the
+paper's anchors, and asserts the *shape* (who wins, by roughly what
+factor) rather than exact numbers.
+"""
+
+import os
+
+import pytest
+
+#: Set REPRO_FULL=1 to run the full-resolution sweeps (several minutes)
+#: instead of the quick ones the assertions are tuned for.
+FULL = os.environ.get("REPRO_FULL") == "1"
+
+
+@pytest.fixture
+def show(capsys):
+    """Print a rendered experiment result past pytest's capture."""
+    def _show(result):
+        with capsys.disabled():
+            print()
+            print(result.render())
+    return _show
+
+
+def run_once(benchmark, fn, **kwargs):
+    """Benchmark ``fn`` with a single timed round (experiments are
+    deterministic simulations; repetition adds nothing)."""
+    if FULL:
+        kwargs = dict(kwargs, quick=False)
+    return benchmark.pedantic(fn, kwargs=kwargs, iterations=1, rounds=1)

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""A workstation file-server day: small NFS-style traffic on the
+standard (Ethernet) path next to one bandwidth-hungry HIPPI client.
+
+RAID-II was designed to do both well: "Any client request can be
+serviced using either access mode, but we maximize utilization ... if
+smaller requests use the Ethernet network and larger requests use the
+HIPPI network" (Section 2.1.1).
+"""
+
+import random
+
+from repro.net import UltranetLink
+from repro.server import Raid2Config, Raid2Server
+from repro.server.raid2 import make_sparcstation_client
+from repro.sim import Simulator
+from repro.units import KIB, MB, MIB
+
+
+def main() -> None:
+    sim = Simulator()
+    server = Raid2Server(sim, Raid2Config.paper_default())
+    sim.run_process(server.setup_lfs())
+    fs = server.fs
+    rng = random.Random(23)
+
+    # Populate a small home-directory tree.
+    def populate():
+        yield from fs.mkdir("/home")
+        for user in ("amy", "ben", "eva"):
+            yield from fs.mkdir(f"/home/{user}")
+            for index in range(6):
+                path = f"/home/{user}/file{index}"
+                yield from fs.create(path)
+                yield from fs.write(path, 0, rng.randbytes(12 * KIB))
+        yield from fs.sync()
+
+    sim.run_process(populate())
+    print("populated 3 home directories x 6 files of 12 KiB")
+
+    # ---- standard mode: small reads/writes over the Ethernet ----
+    ops = 40
+    start = sim.now
+
+    def nfs_client(user):
+        for index in range(ops):
+            path = f"/home/{user}/file{index % 6}"
+            if index % 3 == 2:
+                yield from server.ethernet_write(
+                    path, 0, rng.randbytes(4 * KIB))
+            else:
+                yield from server.ethernet_read(path, 0, 8 * KIB)
+
+    for user in ("amy", "ben", "eva"):
+        sim.process(nfs_client(user))
+    sim.run()
+    elapsed = sim.now - start
+    total_ops = 3 * ops
+    print(f"standard mode: {total_ops} small NFS-style ops in "
+          f"{elapsed:.2f} s simulated -> {total_ops / elapsed:.0f} ops/s "
+          f"over the 10 Mb/s Ethernet")
+
+    # ---- high-bandwidth mode: one big dataset over the HIPPI path ----
+    dataset = rng.randbytes(6 * MIB)
+
+    def store_dataset():
+        yield from fs.create("/home/eva/simulation.dat")
+        yield from fs.write("/home/eva/simulation.dat", 0, dataset)
+        yield from fs.sync()
+
+    sim.run_process(store_dataset())
+
+    client = make_sparcstation_client(sim)
+    link = UltranetLink(sim)
+    start = sim.now
+    data = sim.run_process(server.client_read(
+        client, link, "/home/eva/simulation.dat", 0, len(dataset)))
+    elapsed = sim.now - start
+    assert data == dataset
+    print(f"high-bandwidth mode: {len(dataset) / MB:.1f} MB dataset "
+          f"to a HIPPI client at {len(dataset) / MB / elapsed:.1f} MB/s "
+          f"(client-limited)")
+
+    stats = server.fs.statfs()
+    print(f"log: {stats['fragments_flushed']} fragments flushed, "
+          f"{stats['clean_segments']}/{stats['segments']} segments clean")
+
+
+if __name__ == "__main__":
+    main()

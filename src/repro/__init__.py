@@ -1,0 +1,45 @@
+"""RAID-II: A High-Bandwidth Network File Server — full-system reproduction.
+
+The package reproduces the Berkeley RAID-II prototype (ISCA 1994) as a
+discrete-event simulation of its hardware with a real, byte-accurate
+storage stack on top.  The main entry points:
+
+>>> from repro import Raid2Server, Raid2Config, Simulator
+>>> sim = Simulator()
+>>> server = Raid2Server(sim, Raid2Config.fig8_lfs())
+>>> sim.run_process(server.setup_lfs())
+>>> sim.run_process(server.fs.create("/hello"))
+2
+>>> sim.run_process(server.fs.write("/hello", 0, b"world"))
+>>> sim.run_process(server.fs.read("/hello", 0, 5))
+b'world'
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+from repro.client import RaidFileClient
+from repro.lfs import LogStructuredFS
+from repro.raid import (Raid0Controller, Raid1Controller, Raid3Controller,
+                        Raid5Controller)
+from repro.server import Raid1Server, Raid2Config, Raid2Server
+from repro.sim import Simulator
+from repro.zebra import ZebraClient, ZebraStorageServer
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "LogStructuredFS",
+    "Raid0Controller",
+    "Raid1Controller",
+    "Raid1Server",
+    "Raid2Config",
+    "Raid2Server",
+    "Raid3Controller",
+    "Raid5Controller",
+    "RaidFileClient",
+    "Simulator",
+    "ZebraClient",
+    "ZebraStorageServer",
+    "__version__",
+]

@@ -1,0 +1,5 @@
+"""The client-side library for RAID-II's high-bandwidth mode."""
+
+from repro.client.library import RaidFileClient
+
+__all__ = ["RaidFileClient"]

@@ -1,0 +1,93 @@
+"""The special client library for RAID files (Section 3.2/3.3).
+
+"The fast data path across the Ultranet uses a special library of file
+system operations for RAID files: open, read, write, etc.  The library
+converts file operations to operations on an Ultranet socket between
+the client and the RAID-II server" — applications relink against it;
+no client-kernel changes are needed.
+
+:class:`RaidFileClient` is that library: ``open`` performs the socket
+setup and server-side name lookup, ``read``/``write`` move bulk data
+over the HIPPI path, and ``close`` tears the handle down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ProtocolError
+from repro.host.workstation import Workstation
+from repro.hw.specs import SPARCSTATION_10_51
+from repro.net.ultranet import UltranetLink
+from repro.sim import Simulator
+
+
+@dataclass
+class _Handle:
+    fd: int
+    path: str
+    open: bool = True
+
+
+class RaidFileClient:
+    """raid_open / raid_read / raid_write / raid_close over the Ultranet."""
+
+    def __init__(self, sim: Simulator, server, workstation=None,
+                 name: str = "client"):
+        self.sim = sim
+        self.server = server
+        self.workstation = workstation or Workstation(
+            sim, SPARCSTATION_10_51, name=name)
+        self.link = UltranetLink(sim, name=f"{name}.ultranet")
+        self._handles: dict[int, _Handle] = {}
+        self._next_fd = 3
+
+    # ------------------------------------------------------------------
+    def open(self, path: str):
+        """Process: open a RAID file; returns a file descriptor.
+
+        The library opens a socket to the server, sends the open
+        command, and the host resolves the name (Section 3.3).
+        """
+        yield from self.link.rpc()                      # socket setup
+        yield from self.link.rpc()                      # open command
+        yield from self.server.host.handle_io()         # host opens file
+        exists = yield from self.server.fs.exists(path)
+        if not exists:
+            yield from self.server.fs.create(path)
+        fd = self._next_fd
+        self._next_fd += 1
+        self._handles[fd] = _Handle(fd, path)
+        return fd
+
+    def _handle(self, fd: int) -> _Handle:
+        handle = self._handles.get(fd)
+        if handle is None or not handle.open:
+            raise ProtocolError(f"bad or closed file descriptor {fd}")
+        return handle
+
+    def read(self, fd: int, offset: int, nbytes: int):
+        """Process: raid_read — bulk data arrives over the HIPPI path."""
+        handle = self._handle(fd)
+        data = yield from self.server.client_read(
+            self.workstation, self.link, handle.path, offset, nbytes)
+        return data
+
+    def write(self, fd: int, offset: int, data: bytes):
+        """Process: raid_write — bulk data leaves over the HIPPI path."""
+        handle = self._handle(fd)
+        yield from self.server.client_write(
+            self.workstation, self.link, handle.path, offset, data)
+        return None
+
+    def close(self, fd: int):
+        """Process: close the handle and notify the server."""
+        handle = self._handle(fd)
+        handle.open = False
+        yield from self.link.rpc()
+        yield from self.server.host.handle_io()
+        return None
+
+    @property
+    def open_files(self) -> int:
+        return sum(1 for handle in self._handles.values() if handle.open)

@@ -1,0 +1,71 @@
+"""Exception hierarchy for the RAID-II reproduction."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class SimulationError(ReproError):
+    """The simulation kernel was used incorrectly or reached a bad state."""
+
+
+class HardwareError(ReproError):
+    """A hardware model was configured or used incorrectly."""
+
+
+class DiskFailedError(HardwareError):
+    """An I/O was issued to a disk that has been failed by fault injection."""
+
+    def __init__(self, disk_name: str):
+        super().__init__(f"disk {disk_name} has failed")
+        self.disk_name = disk_name
+
+
+class RaidError(ReproError):
+    """RAID-layer error (bad geometry, unrecoverable loss, ...)."""
+
+
+class UnrecoverableArrayError(RaidError):
+    """More disks failed than the redundancy scheme can tolerate."""
+
+
+class FileSystemError(ReproError):
+    """Generic file-system error."""
+
+
+class FileNotFoundFsError(FileSystemError):
+    """Path does not exist."""
+
+
+class FileExistsFsError(FileSystemError):
+    """Path already exists."""
+
+
+class NotADirectoryFsError(FileSystemError):
+    """A path component is not a directory."""
+
+
+class IsADirectoryFsError(FileSystemError):
+    """Operation requires a regular file but the path is a directory."""
+
+
+class DirectoryNotEmptyFsError(FileSystemError):
+    """Directory must be empty to be removed."""
+
+
+class NoSpaceFsError(FileSystemError):
+    """The log ran out of clean segments."""
+
+
+class CorruptFileSystemError(FileSystemError):
+    """On-disk structures failed validation during mount or recovery."""
+
+
+class NetworkError(ReproError):
+    """Network-layer error."""
+
+
+class ProtocolError(ReproError):
+    """Client/server protocol violation."""

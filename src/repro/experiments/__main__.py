@@ -1,0 +1,66 @@
+"""Run experiments from the command line.
+
+Usage::
+
+    python -m repro.experiments list
+    python -m repro.experiments fig5 table2 ...     # quick runs
+    python -m repro.experiments --full fig8         # full-resolution
+    python -m repro.experiments all
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments import (ablations, degraded_mode, fig5_hw_throughput,
+                               fig6_hippi_loopback, fig7_string_scaling,
+                               fig8_lfs_throughput, network_clients,
+                               raid1_baseline, recovery_time,
+                               table1_peak_sequential, table2_small_io,
+                               vme_ports, zebra_scaling)
+
+REGISTRY = {
+    "fig5": fig5_hw_throughput.run,
+    "fig6": fig6_hippi_loopback.run,
+    "fig7": fig7_string_scaling.run,
+    "fig8": fig8_lfs_throughput.run,
+    "table1": table1_peak_sequential.run,
+    "table2": table2_small_io.run,
+    "raid1-baseline": raid1_baseline.run,
+    "vme-ports": vme_ports.run,
+    "netclient": network_clients.run,
+    "recovery-time": recovery_time.run,
+    "degraded-mode": degraded_mode.run,
+    "zebra": zebra_scaling.run,
+    "ablation-datapath": ablations.run_datapath,
+    "ablation-lfs-vs-ffs": ablations.run_lfs_vs_ffs,
+    "ablation-scaling": ablations.run_scaling,
+    "ablation-raid3": ablations.run_raid3,
+    "ablation-cleaner": ablations.run_cleaner,
+}
+
+
+def main(argv: list[str]) -> int:
+    args = [arg for arg in argv if arg != "--full"]
+    quick = "--full" not in argv
+    if not args or args == ["list"]:
+        print("available experiments:")
+        for name in REGISTRY:
+            print(f"  {name}")
+        print("\nusage: python -m repro.experiments [--full] "
+              "<name>... | all | list")
+        return 0
+    names = list(REGISTRY) if args == ["all"] else args
+    for name in names:
+        runner = REGISTRY.get(name)
+        if runner is None:
+            print(f"unknown experiment {name!r}; try 'list'",
+                  file=sys.stderr)
+            return 2
+        print(runner(quick=quick).render())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,82 @@
+"""Shared result containers and rendering for the experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class Point:
+    """One (x, y) sample of a swept series."""
+
+    x: float
+    y: float
+
+
+@dataclass
+class Series:
+    """A named curve, e.g. 'random reads' over request size."""
+
+    name: str
+    x_label: str
+    y_label: str
+    points: list[Point] = field(default_factory=list)
+
+    def add(self, x: float, y: float) -> None:
+        self.points.append(Point(x, y))
+
+    def y_at(self, x: float) -> float:
+        for point in self.points:
+            if point.x == x:
+                return point.y
+        raise KeyError(f"no point at x={x!r} in series {self.name!r}")
+
+    @property
+    def max_y(self) -> float:
+        return max(point.y for point in self.points)
+
+
+@dataclass
+class ExperimentResult:
+    """Everything one experiment produced, ready to render."""
+
+    experiment_id: str
+    title: str
+    series: list[Series] = field(default_factory=list)
+    #: Named scalar results (peak rates, I/O rates, utilizations...).
+    scalars: dict[str, float] = field(default_factory=dict)
+    #: The paper's anchor values for the scalars, same keys where known.
+    paper: dict[str, float] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+    def series_named(self, name: str) -> Series:
+        for series in self.series:
+            if series.name == name:
+                return series
+        raise KeyError(f"no series {name!r} in {self.experiment_id}")
+
+    def render(self) -> str:
+        """Human-readable text report (what the benches print)."""
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        if self.scalars:
+            width = max(len(key) for key in self.scalars)
+            for key, value in self.scalars.items():
+                anchor = self.paper.get(key)
+                suffix = f"   (paper: {anchor:g})" if anchor is not None else ""
+                lines.append(f"  {key:<{width}} : {value:8.2f}{suffix}")
+        for series in self.series:
+            lines.append(f"  -- {series.name} "
+                         f"({series.x_label} -> {series.y_label})")
+            for point in series.points:
+                lines.append(f"     {point.x:>12g}  {point.y:10.2f}")
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+
+def ratio(measured: float, anchor: Optional[float]) -> Optional[float]:
+    """measured / paper anchor, when an anchor exists."""
+    if anchor in (None, 0):
+        return None
+    return measured / anchor

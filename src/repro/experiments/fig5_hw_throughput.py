@@ -1,0 +1,93 @@
+"""Figure 5 — hardware system level read and write performance.
+
+"RAID-II achieves approximately 20 megabytes/second for both random
+reads and writes" at large request sizes, with a dip in the read curve
+at 768 KB where "the striping scheme involves a second string on one
+of the controllers".
+
+Setup (Section 2.3): one XBUS board, RAID 5, one parity group of 24
+disks, four Cougars; data travels disk -> XBUS memory -> HIPPI source
+-> HIPPI destination -> XBUS memory.  Reads issue synchronous random
+requests; writes are buffered in XBUS memory (the data already
+originates there), so two requests are in flight — and the write
+driver lays requests out stripe-aligned, as a raw-array benchmark
+naturally does.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.experiments.base import ExperimentResult, Series
+from repro.server import Raid2Config, Raid2Server
+from repro.sim import Simulator
+from repro.units import KIB
+from repro.workloads import random_aligned_offsets, run_request_stream
+
+#: Request sizes swept (KiB); the paper's x-axis spans ~32 KB-1.6 MB.
+FULL_SIZES_KIB = [64, 128, 256, 384, 512, 640, 704, 768, 832, 896,
+                  1024, 1280, 1600]
+QUICK_SIZES_KIB = [128, 512, 704, 768, 832, 1600]
+
+PAPER_ANCHORS = {
+    "read_plateau_mb_s": 20.0,
+    "write_plateau_mb_s": 20.0,
+}
+
+
+def _measure(mode: str, size: int, count: int, seed: int) -> float:
+    sim = Simulator()
+    server = Raid2Server(sim, Raid2Config.paper_default())
+    capacity = server.raid.capacity_bytes
+    rng = random.Random(seed)
+    if mode == "read":
+        requests = random_aligned_offsets(rng, capacity, size, count,
+                                          alignment=512)
+        concurrency = 1
+
+        def op(offset, nbytes):
+            yield from server.hw_read(offset, nbytes)
+    else:
+        row = (server.raid.layout.data_units_per_row
+               * server.raid.stripe_unit_bytes)
+        span = -(-size // row) * row
+        slots = (capacity - span) // row
+        requests = [(rng.randrange(slots) * row, size) for _ in range(count)]
+        concurrency = 2  # write-behind through XBUS memory
+
+        def op(offset, nbytes):
+            yield from server.hw_write(offset, nbytes)
+
+    return run_request_stream(sim, op, requests, concurrency).mb_per_s
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    sizes = QUICK_SIZES_KIB if quick else FULL_SIZES_KIB
+    count = 6 if quick else 12
+
+    reads = Series("random reads", "request KB", "MB/s")
+    writes = Series("random writes", "request KB", "MB/s")
+    for size_kib in sizes:
+        reads.add(size_kib, _measure("read", size_kib * KIB, count, seed=101))
+        writes.add(size_kib, _measure("write", size_kib * KIB, count,
+                                      seed=202))
+
+    result = ExperimentResult(
+        experiment_id="fig5",
+        title="Hardware system level random read/write throughput",
+        series=[reads, writes],
+        scalars={
+            "read_plateau_mb_s": reads.y_at(sizes[-1]),
+            "write_plateau_mb_s": writes.y_at(sizes[-1]),
+            "read_dip_768_vs_704_ratio":
+                reads.y_at(768) / reads.y_at(704) if 704 in sizes else 0.0,
+        },
+        paper=PAPER_ANCHORS,
+        notes=[
+            "Reads: synchronous random requests, sector-aligned.",
+            "Writes: stripe-aligned, two in flight (XBUS write-behind).",
+            "Paper dip at 768 KB: request begins engaging a second "
+            "string on one controller.",
+        ],
+    )
+    return result

@@ -1,0 +1,69 @@
+"""Figure 7 — disk read performance vs disks on one SCSI string.
+
+"Cougar string bandwidth is limited to about 3 megabytes/second, less
+than that of three disks.  The dashed line indicates the performance
+if bandwidth scaled linearly."
+
+One Cougar, one string, 1..5 disks streaming 64 KB sequential reads.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult, Series
+from repro.hw import IBM_0661, CougarController, DiskDrive
+from repro.sim import Simulator
+from repro.units import KIB, MB
+
+PAPER_ANCHORS = {
+    "string_plateau_mb_s": 3.0,
+    "single_disk_mb_s": 2.0,
+}
+
+
+def _rate_with_disks(ndisks: int, ops_per_disk: int) -> float:
+    sim = Simulator()
+    cougar = CougarController(sim, name="c0")
+    string = cougar.strings[0]
+    disks = []
+    for index in range(ndisks):
+        disk = DiskDrive(sim, IBM_0661, name=f"d{index}")
+        string.attach(disk)
+        disks.append(disk)
+
+    unit = 64 * KIB
+    nsectors = unit // 512
+
+    def streamer(disk):
+        for op in range(ops_per_disk):
+            yield from cougar.read(disk, op * nsectors, nsectors)
+
+    for disk in disks:
+        sim.process(streamer(disk))
+    elapsed = sim.run()
+    return ndisks * ops_per_disk * unit / MB / elapsed
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    ops = 10 if quick else 30
+    measured = Series("measured", "disks on string", "MB/s")
+    linear = Series("linear scaling (dashed)", "disks on string", "MB/s")
+    single = _rate_with_disks(1, ops)
+    for ndisks in range(1, 6):
+        measured.add(ndisks, _rate_with_disks(ndisks, ops))
+        linear.add(ndisks, ndisks * single)
+
+    return ExperimentResult(
+        experiment_id="fig7",
+        title="Disk read performance vs disks per SCSI string",
+        series=[measured, linear],
+        scalars={
+            "single_disk_mb_s": single,
+            "string_plateau_mb_s": measured.y_at(5),
+        },
+        paper=PAPER_ANCHORS,
+        notes=[
+            "The string saturates near 3 MB/s — below three disks' "
+            "aggregate media rate, the stated limit on hardware "
+            "system-level performance.",
+        ],
+    )

@@ -1,0 +1,91 @@
+"""Section 3.4's network measurements: one SPARCstation 10/51 client.
+
+"A SPARCstation 10/51 client on the HIPPI network writes data to
+RAID-II at 3.1 megabytes per second ... utilization of the Sun4/280
+workstation due to network operations is close to zero ... [the
+polling read driver] limits RAID-II read operations for a single
+SPARCstation client to 3.2 megabytes/second."
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.net import UltranetLink
+from repro.server import Raid2Config, Raid2Server
+from repro.server.raid2 import make_sparcstation_client
+from repro.sim import Simulator
+from repro.units import MB, MIB
+
+PAPER_ANCHORS = {
+    "client_read_mb_s": 3.2,
+    "client_write_mb_s": 3.1,
+    "host_cpu_util_during_writes": 0.02,
+}
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    nbytes = (2 if quick else 6) * MIB
+    sim = Simulator()
+    server = Raid2Server(sim, Raid2Config.fig8_lfs())
+    sim.run_process(server.setup_lfs())
+    client = make_sparcstation_client(sim)
+    link = UltranetLink(sim)
+    payload = bytes(nbytes)
+
+    def prepare():
+        yield from server.fs.create("/media")
+        yield from server.fs.write("/media", 0, payload)
+        yield from server.fs.sync()
+
+    sim.run_process(prepare())
+
+    start = sim.now
+    sim.run_process(server.client_read(client, link, "/media", 0, nbytes))
+    read_rate = nbytes / MB / (sim.now - start)
+
+    start = sim.now
+    cpu_before = server.host.cpu_busy_time
+    sim.run_process(server.client_write(client, link, "/media", 0, payload))
+    write_elapsed = sim.now - start
+    write_rate = nbytes / MB / write_elapsed
+    cpu_util = (server.host.cpu_busy_time - cpu_before) / write_elapsed
+
+    # "RAID-II is capable of scaling to much higher bandwidth": three
+    # clients writing concurrently, each limited by its own copy stack.
+    trio = [make_sparcstation_client(sim, name=f"c{index}")
+            for index in range(3)]
+    trio_links = [UltranetLink(sim, name=f"l{index}") for index in range(3)]
+    chunk = nbytes // 2
+
+    def prepare_targets():
+        for index in range(3):
+            yield from server.fs.create(f"/t{index}")
+
+    sim.run_process(prepare_targets())
+    start = sim.now
+    procs = [
+        sim.process(server.client_write(trio[index], trio_links[index],
+                                        f"/t{index}", 0, bytes(chunk)))
+        for index in range(3)
+    ]
+    sim.run()
+    aggregate = 3 * chunk / MB / (sim.now - start)
+    assert all(proc.processed for proc in procs)
+
+    return ExperimentResult(
+        experiment_id="netclient",
+        title="Single SPARCstation 10/51 client over the Ultranet",
+        scalars={
+            "client_read_mb_s": read_rate,
+            "client_write_mb_s": write_rate,
+            "host_cpu_util_during_writes": cpu_util,
+            "aggregate_write_3_clients_mb_s": aggregate,
+        },
+        paper=PAPER_ANCHORS,
+        notes=[
+            "Both directions limited by the client's copy-heavy "
+            "user-level network stack, not by RAID-II.",
+            "Reads also hold the host CPU (the preliminary polling "
+            "driver, Section 3.4).",
+        ],
+    )

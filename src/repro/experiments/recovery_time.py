@@ -1,0 +1,127 @@
+"""Section 3.1's recovery claim: LFS check vs UNIX-style fsck.
+
+"For a 1 gigabyte file system, it takes a few seconds to perform an
+LFS file system check, compared with approximately 20 minutes to check
+the consistency of a typical UNIX file system of comparable size."
+
+Both file systems are populated with the same file set on equal-sized
+RAID-5 arrays, then checked: the LFS check is a crash-mount (read the
+checkpoint and imap, roll the log tail forward); the UNIX-style fsck
+walks every inode and indirect block on the volume.  The measured
+ratio is reported along with a linear extrapolation to a 1 GB volume.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+
+from repro.experiments.base import ExperimentResult
+from repro.ffs import UpdateInPlaceFS
+from repro.hw import IBM_0661, DiskDrive
+from repro.hw.specs import LFS_SPEC
+from repro.lfs import LogStructuredFS
+from repro.raid import DirectDiskPath, Raid5Controller
+from repro.sim import Simulator
+from repro.units import GB, KIB, MIB
+
+SPEC = dataclasses.replace(LFS_SPEC, fs_overhead_s=0.0,
+                           small_write_overhead_s=0.0)
+
+
+def _make_array(sim: Simulator, disk_bytes: int):
+    disk_spec = dataclasses.replace(IBM_0661, capacity_bytes=disk_bytes)
+    paths = [DirectDiskPath(DiskDrive(sim, disk_spec, name=f"d{index}"))
+             for index in range(8)]
+    return Raid5Controller(sim, paths, 64 * KIB)
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    nfiles = 60 if quick else 200
+    file_bytes = 96 * KIB  # large enough to need an indirect block
+    disk_bytes = 16 * MIB if quick else 48 * MIB
+    rng = random.Random(3)
+
+    # ---- LFS: populate, crash, measure the mount ----
+    sim = Simulator()
+    raid = _make_array(sim, disk_bytes)
+    volume_bytes = raid.capacity_bytes
+    lfs = LogStructuredFS(sim, raid, spec=SPEC, max_inodes=nfiles + 16)
+    sim.run_process(lfs.format())
+
+    def populate_lfs():
+        for index in range(nfiles):
+            path = f"/f{index:04d}"
+            yield from lfs.create(path)
+            yield from lfs.write(path, 0, rng.randbytes(file_bytes))
+        yield from lfs.checkpoint()
+        # A little post-checkpoint activity for roll-forward to chew on.
+        yield from lfs.write("/f0000", 0, rng.randbytes(32 * KIB))
+        yield from lfs.sync()
+
+    sim.run_process(populate_lfs())
+    lfs.crash()
+    remount = LogStructuredFS(sim, raid, spec=SPEC, max_inodes=nfiles + 16)
+    start = sim.now
+    sim.run_process(remount.mount())
+    lfs_check_s = sim.now - start
+
+    # ---- FFS: same file set, then fsck ----
+    sim2 = Simulator()
+    raid2 = _make_array(sim2, disk_bytes)
+    ffs = UpdateInPlaceFS(sim2, raid2, max_files=nfiles + 16)
+    sim2.run_process(ffs.format())
+    rng2 = random.Random(3)
+
+    def populate_ffs():
+        # Two passes, the second in random file order, so the indirect
+        # blocks end up scattered across the volume — the natural state
+        # of an aged update-in-place file system (and the reason fsck
+        # seeks so much).
+        for index in range(nfiles):
+            path = f"/f{index:04d}"
+            yield from ffs.create(path)
+            yield from ffs.write(path, 0, rng2.randbytes(44 * KIB))
+        order = list(range(nfiles))
+        rng2.shuffle(order)
+        for index in order:
+            path = f"/f{index:04d}"
+            yield from ffs.write(path, 44 * KIB,
+                                 rng2.randbytes(file_bytes - 44 * KIB))
+
+    sim2.run_process(populate_ffs())
+    start = sim2.now
+    report = sim2.run_process(ffs.fsck())
+    fsck_s = sim2.now - start
+    assert report["errors"] == 0
+
+    # Extrapolate by file population: a 1 GB volume of the era held on
+    # the order of 30k files (~35 KB average).  fsck's cost is per
+    # file; the LFS check's cost is a checkpoint read plus the log
+    # tail, independent of volume size.
+    files_per_gb = 30_000
+    fsck_per_file_s = fsck_s / nfiles
+    return ExperimentResult(
+        experiment_id="recovery-time",
+        title="Crash-check time: LFS roll-forward vs UNIX-style fsck",
+        scalars={
+            "lfs_check_s": lfs_check_s,
+            "fsck_s": fsck_s,
+            "fsck_over_lfs": fsck_s / lfs_check_s,
+            "fsck_per_file_ms": fsck_per_file_s * 1000,
+            "fsck_extrapolated_1gb_min":
+                fsck_per_file_s * files_per_gb / 60.0,
+            "lfs_extrapolated_1gb_s": lfs_check_s,
+        },
+        paper={
+            "fsck_extrapolated_1gb_min": 20.0,
+            "lfs_extrapolated_1gb_s": 3.0,  # "a few seconds"
+        },
+        notes=[
+            "LFS reads the checkpoint + imap and rolls the short log "
+            "tail forward; fsck walks every inode and indirect block "
+            "of an aged (scattered-metadata) volume.",
+            "Extrapolation: ~30k files per GB at 1993 file sizes; the "
+            "LFS check does not grow with the volume.",
+        ],
+    )

@@ -1,0 +1,50 @@
+"""Section 2.3's VME port microbenchmark.
+
+"our relatively slow, synchronous VME interface ports ... only support
+6.9 megabytes/second on read operations and 5.9 megabytes/second on
+write operations" — the stated reason hardware system-level bandwidth
+falls short of the 40 MB/s design goal.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.hw import VmePort
+from repro.hw.vme import Direction
+from repro.sim import Simulator
+from repro.units import KIB, MB
+
+PAPER_ANCHORS = {
+    "vme_read_mb_s": 6.9,
+    "vme_write_mb_s": 5.9,
+}
+
+
+def _port_rate(direction: Direction, transfers: int) -> float:
+    sim = Simulator()
+    port = VmePort(sim)
+    nbytes = 64 * KIB
+
+    def body():
+        for _ in range(transfers):
+            yield from port.transfer(nbytes, direction)
+
+    sim.run_process(body())
+    return transfers * nbytes / MB / sim.now
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    transfers = 8 if quick else 32
+    return ExperimentResult(
+        experiment_id="vme-ports",
+        title="XBUS VME data-port sustained rates",
+        scalars={
+            "vme_read_mb_s": _port_rate(Direction.READ, transfers),
+            "vme_write_mb_s": _port_rate(Direction.WRITE, transfers),
+        },
+        paper=PAPER_ANCHORS,
+        notes=[
+            "The synchronous VME interface is the gap between the "
+            "40 MB/s port design goal and delivered disk bandwidth.",
+        ],
+    )

@@ -1,0 +1,14 @@
+"""A traditional update-in-place file system (FFS-style baseline).
+
+Section 3.1 of the paper explains why LFS suits RAID 5: "Under a
+traditional file system, disk arrays that use large block interleaving
+(Level 5 RAID) perform poorly on small write operations because each
+small write requires four disk accesses."  This module is that
+traditional baseline — files live in fixed blocks, every write goes
+straight to its home location — so the ablation benchmark can measure
+the small-write penalty LFS eliminates.
+"""
+
+from repro.ffs.fs import UpdateInPlaceFS
+
+__all__ = ["UpdateInPlaceFS"]

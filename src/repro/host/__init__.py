@@ -1,0 +1,6 @@
+"""Host and client workstation models (CPU, memory system, backplane)."""
+
+from repro.host.cache import LruBlockCache
+from repro.host.workstation import Workstation
+
+__all__ = ["LruBlockCache", "Workstation"]

@@ -1,0 +1,91 @@
+"""A byte-budgeted LRU block cache.
+
+"The host memory cache contains metadata as well as files that have
+been read into workstation memory for transfer over the Ethernet.  The
+cache is managed with a simple Least Recently Used replacement policy"
+(Section 3.2).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Hashable, Optional
+
+from repro.errors import HardwareError
+
+
+class LruBlockCache:
+    """Maps block keys to byte payloads, evicting least-recently-used."""
+
+    def __init__(self, capacity_bytes: int, name: str = "cache"):
+        if capacity_bytes <= 0:
+            raise HardwareError(
+                f"cache capacity must be positive, got {capacity_bytes}")
+        self.capacity_bytes = capacity_bytes
+        self.name = name
+        self._entries: "OrderedDict[Hashable, bytes]" = OrderedDict()
+        self._used = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used
+
+    def get(self, key: Hashable) -> Optional[bytes]:
+        """Return the cached payload or None; updates recency and stats."""
+        payload = self._entries.get(key)
+        if payload is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return payload
+
+    def contains(self, key: Hashable) -> bool:
+        """Presence check without touching recency or hit/miss stats."""
+        return key in self._entries
+
+    def put(self, key: Hashable, payload: bytes) -> None:
+        if len(payload) > self.capacity_bytes:
+            raise HardwareError(
+                f"entry of {len(payload)} bytes exceeds cache capacity "
+                f"{self.capacity_bytes}")
+        if key in self._entries:
+            self._used -= len(self._entries[key])
+            del self._entries[key]
+        self._entries[key] = payload
+        self._used += len(payload)
+        while self._used > self.capacity_bytes:
+            _old_key, old_payload = self._entries.popitem(last=False)
+            self._used -= len(old_payload)
+            self.evictions += 1
+
+    def invalidate(self, key: Hashable) -> None:
+        payload = self._entries.pop(key, None)
+        if payload is not None:
+            self._used -= len(payload)
+
+    def invalidate_where(self, predicate) -> int:
+        """Drop every entry whose key satisfies ``predicate``.
+
+        Used for coherence: when a file changes, all of its cached
+        ranges must go.  Returns the number of entries dropped.
+        """
+        doomed = [key for key in self._entries if predicate(key)]
+        for key in doomed:
+            self.invalidate(key)
+        return len(doomed)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._used = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -1,0 +1,63 @@
+"""SCSI string model.
+
+A *string* is one SCSI bus hanging off a Cougar controller.  The paper
+attaches three disks per string and measures the string's ceiling at
+about 3 MB/s (Figure 7) — well below the sum of three disks' media
+rates, which is exactly the bottleneck Figure 7 demonstrates.
+
+Drives disconnect from the bus during seeks and reconnect to transfer,
+so only the data transfer occupies the string.
+"""
+
+from __future__ import annotations
+
+from repro.errors import HardwareError
+from repro.hw.disk import DiskDrive
+from repro.hw.specs import SCSI_STRING_SPEC, ScsiStringSpec
+from repro.sim import BandwidthChannel, Simulator
+
+
+class ScsiString:
+    """One SCSI bus with its attached drives."""
+
+    def __init__(self, sim: Simulator, spec: ScsiStringSpec = SCSI_STRING_SPEC,
+                 name: str = "string"):
+        self.sim = sim
+        self.spec = spec
+        self.name = name
+        self.channel = BandwidthChannel(
+            sim, rate_mb_s=spec.rate_mb_s,
+            per_transfer_overhead=spec.per_transfer_overhead_s,
+            name=f"{name}.bus")
+        self.disks: list[DiskDrive] = []
+        #: Number of transfers currently occupying or queued on the bus;
+        #: the Cougar uses this for its dual-string contention check.
+        self.active_transfers = 0
+
+    def attach(self, disk: DiskDrive) -> None:
+        if disk in self.disks:
+            raise HardwareError(f"{disk.name} already attached to {self.name}")
+        self.disks.append(disk)
+
+    def transfer(self, nbytes: int, write: bool = False):
+        """Process: move ``nbytes`` across the string (queue + service).
+
+        Writes run at the string's (lower) write rate; the shared bus
+        lock still serializes both directions.
+        """
+        self.active_transfers += 1
+        try:
+            if write:
+                # Same bus, slower effective rate: scale the byte count
+                # so the shared FIFO channel charges write-rate time.
+                scaled = int(nbytes * self.spec.rate_mb_s
+                             / self.spec.write_rate_mb_s)
+                yield from self.channel.transfer(scaled)
+            else:
+                yield from self.channel.transfer(nbytes)
+        finally:
+            self.active_transfers -= 1
+
+    @property
+    def busy(self) -> bool:
+        return self.active_transfers > 0

@@ -1,0 +1,80 @@
+"""XBUS board memory: four interleaved DRAM banks behind the crossbar.
+
+The board carries four 8 MB DRAM modules interleaved in sixteen-word
+blocks, each matching the 40 MB/s port rate, for 160 MB/s aggregate
+(Section 2.2, Figure 4).  Because the fine interleave spreads every
+transfer across all banks, we model service time with a single
+aggregate channel at the summed bank rate — which correctly caps total
+board traffic at 160 MB/s — while still accounting per-bank byte
+counts for utilization reports.
+
+The memory also acts as the board's buffer pool (network buffers,
+prefetch buffers, LFS segment buffers); a simple byte-counting
+allocator tracks occupancy and its high-water mark.
+"""
+
+from __future__ import annotations
+
+from repro.errors import HardwareError
+from repro.hw.specs import XBUS_SPEC, XbusSpec
+from repro.sim import BandwidthChannel, Simulator
+
+
+class XbusMemory:
+    """Interleaved buffer memory on the XBUS board."""
+
+    def __init__(self, sim: Simulator, spec: XbusSpec = XBUS_SPEC,
+                 name: str = "xmem"):
+        self.sim = sim
+        self.spec = spec
+        self.name = name
+        aggregate_rate = spec.bank_rate_mb_s * spec.memory_banks
+        self.channel = BandwidthChannel(
+            sim, rate_mb_s=aggregate_rate, name=f"{name}.banks")
+        self.bank_bytes_moved = [0] * spec.memory_banks
+        self._next_bank = 0
+        self._allocated = 0
+        self.allocation_high_water = 0
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.spec.bank_bytes * self.spec.memory_banks
+
+    # ------------------------------------------------------------------
+    # timed access
+    # ------------------------------------------------------------------
+    def access(self, nbytes: int):
+        """Process: one crossbar-side memory access of ``nbytes``."""
+        if nbytes < 0:
+            raise HardwareError(f"negative access size: {nbytes}")
+        # Interleaving spreads the bytes across the banks; keep per-bank
+        # counters for reporting.
+        banks = self.spec.memory_banks
+        share, remainder = divmod(nbytes, banks)
+        for index in range(banks):
+            bank = (self._next_bank + index) % banks
+            self.bank_bytes_moved[bank] += share + (1 if index < remainder else 0)
+        self._next_bank = (self._next_bank + 1) % banks
+        yield from self.channel.transfer(nbytes)
+
+    # ------------------------------------------------------------------
+    # buffer-pool accounting (instantaneous)
+    # ------------------------------------------------------------------
+    @property
+    def allocated_bytes(self) -> int:
+        return self._allocated
+
+    def allocate(self, nbytes: int) -> None:
+        if nbytes < 0:
+            raise HardwareError(f"negative allocation: {nbytes}")
+        self._allocated += nbytes
+        self.allocation_high_water = max(self.allocation_high_water,
+                                         self._allocated)
+
+    def free(self, nbytes: int) -> None:
+        if nbytes < 0:
+            raise HardwareError(f"negative free: {nbytes}")
+        if nbytes > self._allocated:
+            raise HardwareError(
+                f"freeing {nbytes} bytes but only {self._allocated} allocated")
+        self._allocated -= nbytes

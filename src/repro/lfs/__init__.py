@@ -1,0 +1,22 @@
+"""A Log-Structured File System in the style of Sprite LFS.
+
+This is a real, byte-accurate reimplementation of the file system
+RAID-II ran (Rosenblum & Ousterhout's Sprite LFS, adapted per
+Section 3 of the RAID-II paper): all file data and metadata are
+appended to a segmented log, small writes are buffered and written as
+large sequential segment I/Os, recovery rolls the log forward from the
+last checkpoint, and a segment cleaner reclaims dead space.
+
+The paper's prototype lacked the cleaner ("LFS cleaning ... has not
+yet been implemented"); we implement it, with both greedy and
+cost-benefit victim selection, as the paper's stated missing piece.
+
+Layout parameters follow Section 3.4: 64 KB stripe units and 960 KB
+segments; the block size is 4 KB.
+"""
+
+from repro.lfs.cleaner import CleanerPolicy
+from repro.lfs.fs import FileAttributes, LogStructuredFS
+from repro.lfs.ondisk import FileType
+
+__all__ = ["CleanerPolicy", "FileAttributes", "FileType", "LogStructuredFS"]

@@ -1,0 +1,14 @@
+"""Small shared types between the FS core and recovery (avoids cycles)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LogHead:
+    """Where appending resumes after recovery."""
+
+    segment: int
+    offset: int
+    next_fragment_seq: int

@@ -1,0 +1,89 @@
+"""The inode map: inode number -> disk address of the latest inode.
+
+The imap is itself stored in the log (one address-array block per 512
+inodes); the checkpoint records where its blocks currently live.  In
+memory it is a flat array plus dirty-block tracking.
+
+A freshly created inode that has never been flushed is marked with the
+in-memory ``PENDING`` sentinel so its number cannot be re-allocated;
+PENDING never reaches disk because every flush writes dirty inodes
+(assigning real addresses) before imap blocks are encoded.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import CorruptFileSystemError, FileSystemError
+from repro.lfs.ondisk import BLOCK_SIZE, NULL_ADDR
+
+ENTRIES_PER_BLOCK = BLOCK_SIZE // 8
+PENDING = 0xFFFFFFFFFFFFFFFF
+
+
+class InodeMap:
+    """In-memory inode map with per-block dirty tracking."""
+
+    def __init__(self, max_inodes: int):
+        if max_inodes < 2:
+            raise FileSystemError("need room for at least the root inode")
+        # Round up to whole imap blocks.
+        self.n_blocks = -(-max_inodes // ENTRIES_PER_BLOCK)
+        self.max_inodes = self.n_blocks * ENTRIES_PER_BLOCK
+        self._addrs = [NULL_ADDR] * self.max_inodes
+        self.dirty_blocks: set[int] = set()
+        self._next_free_hint = 1  # ino 0 is reserved
+
+    # ------------------------------------------------------------------
+    def get(self, ino: int) -> int:
+        self._check(ino)
+        return self._addrs[ino]
+
+    def set(self, ino: int, addr: int) -> None:
+        self._check(ino)
+        self._addrs[ino] = addr
+        self.dirty_blocks.add(ino // ENTRIES_PER_BLOCK)
+
+    def is_allocated(self, ino: int) -> bool:
+        self._check(ino)
+        return self._addrs[ino] != NULL_ADDR
+
+    def allocate(self) -> int:
+        """Reserve a free inode number (marked PENDING until flushed)."""
+        for offset in range(self.max_inodes - 1):
+            ino = 1 + (self._next_free_hint - 1 + offset) % (self.max_inodes - 1)
+            if self._addrs[ino] == NULL_ADDR:
+                self.set(ino, PENDING)
+                self._next_free_hint = ino + 1
+                return ino
+        raise FileSystemError("out of inodes")
+
+    def free(self, ino: int) -> None:
+        self._check(ino)
+        if self._addrs[ino] == NULL_ADDR:
+            raise FileSystemError(f"double free of inode {ino}")
+        self.set(ino, NULL_ADDR)
+
+    def _check(self, ino: int) -> None:
+        if not 1 <= ino < self.max_inodes:
+            raise FileSystemError(f"inode number {ino} out of range")
+
+    # ------------------------------------------------------------------
+    def encode_block(self, block_index: int) -> bytes:
+        lo = block_index * ENTRIES_PER_BLOCK
+        chunk = self._addrs[lo:lo + ENTRIES_PER_BLOCK]
+        if PENDING in chunk:
+            raise CorruptFileSystemError(
+                "imap block contains an unflushed PENDING inode")
+        return struct.pack(f"<{ENTRIES_PER_BLOCK}Q", *chunk)
+
+    def load_block(self, block_index: int, data: bytes) -> None:
+        if not 0 <= block_index < self.n_blocks:
+            raise FileSystemError(f"imap block {block_index} out of range")
+        chunk = struct.unpack(f"<{ENTRIES_PER_BLOCK}Q", data[:BLOCK_SIZE])
+        lo = block_index * ENTRIES_PER_BLOCK
+        self._addrs[lo:lo + ENTRIES_PER_BLOCK] = chunk
+
+    def allocated_inodes(self) -> list[int]:
+        return [ino for ino in range(1, self.max_inodes)
+                if self._addrs[ino] != NULL_ADDR]

@@ -1,0 +1,5 @@
+"""Network fabric glue: the Ultranet ring connecting clients to RAID-II."""
+
+from repro.net.ultranet import UltranetLink
+
+__all__ = ["UltranetLink"]

@@ -1,0 +1,751 @@
+"""RAID controllers: timed, byte-accurate striping with redundancy.
+
+The controllers drive disk paths (see :mod:`repro.raid.paths`) and
+implement the real algorithms:
+
+* **RAID 0** — striping only.
+* **RAID 1** — mirrored striping; reads alternate between copies.
+* **RAID 5** — rotated parity with the classic write paths: a write
+  covering a full row is a *full-stripe write* (parity computed over
+  the new data, no old data read — the efficient large write the
+  paper's Section 3.1 relies on); anything smaller is a
+  *read-modify-write* costing the notorious four accesses (read old
+  data + old parity, write new data + new parity).  Degraded reads and
+  writes reconstruct through parity, and a failed disk can be rebuilt
+  byte-for-byte.
+* **RAID 3** — sector-interleaved with a dedicated parity disk; every
+  access engages all data disks and the whole array is locked per
+  operation, reproducing Level 3's one-I/O-at-a-time behaviour that
+  Section 4.2 contrasts with RAID-II's Level 5.
+
+Parity arithmetic is performed by a pluggable *parity computer* so the
+same controller code can use the XBUS board's timed parity engine, a
+host-software XOR (charged to the host memory system), or an instant
+XOR for functional tests.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.errors import DiskFailedError, RaidError, UnrecoverableArrayError
+from repro.hw.parity import xor_blocks
+from repro.raid.layout import (Piece, Raid0Layout, Raid1Layout, Raid3Layout,
+                               Raid5Layout, _StripedLayout)
+from repro.sim import Resource, Simulator
+from repro.units import SECTOR_SIZE
+
+
+class InstantParity:
+    """Zero-time XOR, for functional tests of the RAID algorithms."""
+
+    def compute(self, blocks: Sequence[bytes]):
+        return xor_blocks(blocks)
+        yield  # pragma: no cover - makes this a generator
+
+
+class SoftwareParity:
+    """XOR performed by host software across a memory channel.
+
+    Used by hosts without a parity engine (the RAID-I prototype): the
+    traffic (inputs plus result) crosses the given bandwidth channel.
+    """
+
+    def __init__(self, channel):
+        self.channel = channel
+
+    def compute(self, blocks: Sequence[bytes]):
+        parity = xor_blocks(blocks)
+        traffic = sum(len(block) for block in blocks) + len(parity)
+        yield from self.channel.transfer(traffic)
+        return parity
+
+
+class _BaseController:
+    """Mapping, assembly and shared plumbing for all RAID levels."""
+
+    def __init__(self, sim: Simulator, paths: Sequence, layout: _StripedLayout,
+                 name: str = "raid"):
+        if len(paths) != layout.num_disks:
+            raise RaidError(
+                f"layout expects {layout.num_disks} disks, got {len(paths)}")
+        self.sim = sim
+        self.paths = list(paths)
+        self.layout = layout
+        self.name = name
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.layout.capacity_bytes
+
+    @property
+    def stripe_unit_bytes(self) -> int:
+        return self.layout.stripe_unit_bytes
+
+    # ------------------------------------------------------------------
+    # timed reads (common shape; degraded handling per level)
+    # ------------------------------------------------------------------
+    def read(self, offset: int, nbytes: int):
+        """Process: read a logical range; returns the bytes."""
+        pieces = self.layout.map_data(offset, nbytes)
+        procs = [self.sim.process(self._read_piece(piece), name="piece-read")
+                 for piece in pieces]
+        values = yield self.sim.all_of(procs)
+        return b"".join(values)
+
+    def _read_piece(self, piece: Piece):
+        path = self.paths[piece.disk]
+        if path.disk.failed:
+            data = yield from self._degraded_read(piece)
+            return data
+        try:
+            data = yield from path.read(piece.lba, piece.nsectors)
+            return data
+        except DiskFailedError:
+            data = yield from self._degraded_read(piece)
+            return data
+
+    def _degraded_read(self, piece: Piece):
+        raise UnrecoverableArrayError(
+            f"{self.name}: disk {piece.disk} failed and this level has "
+            "no redundancy")
+        yield  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    # instantaneous verification helpers
+    # ------------------------------------------------------------------
+    def peek(self, offset: int, nbytes: int) -> bytes:
+        """Assemble a logical range straight from the disk stores."""
+        pieces = self.layout.map_data(offset, nbytes)
+        return b"".join(
+            self.paths[p.disk].disk.peek(p.lba, p.nsectors) for p in pieces)
+
+
+class Raid0Controller(_BaseController):
+    """Striping without redundancy."""
+
+    def __init__(self, sim: Simulator, paths: Sequence,
+                 stripe_unit_bytes: int, name: str = "raid0"):
+        capacity = min(path.disk.spec.capacity_bytes for path in paths)
+        layout = Raid0Layout(len(paths), stripe_unit_bytes, capacity)
+        super().__init__(sim, paths, layout, name)
+
+    def write(self, offset: int, data: bytes):
+        """Process: write a logical range."""
+        pieces = self.layout.map_data(offset, len(data))
+        procs = []
+        for piece in pieces:
+            start = piece.logical_offset - offset
+            payload = data[start:start + piece.nbytes]
+            procs.append(self.sim.process(
+                self.paths[piece.disk].write(piece.lba, payload)))
+        yield self.sim.all_of(procs)
+        return None
+
+
+class Raid1Controller(_BaseController):
+    """Mirrored striping; reads alternate between the two copies."""
+
+    def __init__(self, sim: Simulator, paths: Sequence,
+                 stripe_unit_bytes: int, name: str = "raid1"):
+        capacity = min(path.disk.spec.capacity_bytes for path in paths)
+        layout = Raid1Layout(len(paths), stripe_unit_bytes, capacity)
+        super().__init__(sim, paths, layout, name)
+        self._layout1 = layout
+        self._toggle = 0
+
+    def _pick_copy(self, primary: int) -> int:
+        mirror = self._layout1.mirror_of(primary)
+        primary_ok = not self.paths[primary].disk.failed
+        mirror_ok = not self.paths[mirror].disk.failed
+        if primary_ok and mirror_ok:
+            self._toggle ^= 1
+            return primary if self._toggle else mirror
+        if primary_ok:
+            return primary
+        if mirror_ok:
+            return mirror
+        raise UnrecoverableArrayError(
+            f"{self.name}: both copies of disk {primary} failed")
+
+    def _read_piece(self, piece: Piece):
+        disk = self._pick_copy(piece.disk)
+        data = yield from self.paths[disk].read(piece.lba, piece.nsectors)
+        return data
+
+    def write(self, offset: int, data: bytes):
+        """Process: write both copies of every piece in parallel."""
+        pieces = self.layout.map_data(offset, len(data))
+        procs = []
+        for piece in pieces:
+            start = piece.logical_offset - offset
+            payload = data[start:start + piece.nbytes]
+            for disk in (piece.disk, self._layout1.mirror_of(piece.disk)):
+                if self.paths[disk].disk.failed:
+                    continue
+                procs.append(self.sim.process(
+                    self.paths[disk].write(piece.lba, payload)))
+        if not procs:
+            raise UnrecoverableArrayError(
+                f"{self.name}: no surviving copy to write")
+        yield self.sim.all_of(procs)
+        return None
+
+    def rebuild(self, disk_index: int, max_rows: Optional[int] = None):
+        """Process: copy a replacement disk's contents from its mirror."""
+        source = self._layout1.mirror_of(disk_index)
+        if self.paths[source].disk.failed:
+            raise UnrecoverableArrayError(
+                f"{self.name}: mirror of disk {disk_index} also failed")
+        rows = self.layout.rows if max_rows is None else min(
+            self.layout.rows, max_rows)
+        for row in range(rows):
+            lba = self.layout.row_lba(row)
+            data = yield from self.paths[source].read(
+                lba, self.layout.unit_sectors)
+            yield from self.paths[disk_index].write(lba, data)
+        return None
+
+
+class Raid5Controller(_BaseController):
+    """Left-symmetric RAID 5 over one parity group."""
+
+    def __init__(self, sim: Simulator, paths: Sequence,
+                 stripe_unit_bytes: int, parity_computer=None,
+                 name: str = "raid5"):
+        capacity = min(path.disk.spec.capacity_bytes for path in paths)
+        layout = Raid5Layout(len(paths), stripe_unit_bytes, capacity)
+        super().__init__(sim, paths, layout, name)
+        self._layout5 = layout
+        self.parity = parity_computer if parity_computer is not None \
+            else InstantParity()
+        self._row_locks: dict[int, Resource] = {}
+        #: disk index -> first row NOT yet rebuilt.  While a replaced
+        #: disk is rebuilding, rows at or past the frontier are treated
+        #: as unavailable (their on-disk contents are blank) and served
+        #: through reconstruction instead.
+        self._rebuild_frontier: dict[int, int] = {}
+        self.full_stripe_writes = 0
+        self.rmw_writes = 0
+        self.reconstruct_writes = 0
+        self.degraded_reads = 0
+
+    # ------------------------------------------------------------------
+    def _row_lock(self, row: int) -> Resource:
+        lock = self._row_locks.get(row)
+        if lock is None:
+            lock = Resource(self.sim, capacity=1, name=f"{self.name}.row{row}")
+            self._row_locks[row] = lock
+        return lock
+
+    def _row_disks(self, row: int) -> list[int]:
+        """All disks holding a unit of ``row`` (data plus parity)."""
+        parity = self._layout5.parity_disk(row)
+        data = [self._layout5.data_disk(row, k)
+                for k in range(self.layout.data_units_per_row)]
+        return data + [parity]
+
+    def _unavailable(self, disk: int, row: int) -> bool:
+        """True when ``disk``'s copy of ``row`` cannot be trusted:
+        the disk failed, or it is a replacement whose rebuild has not
+        reached that row yet."""
+        if self.paths[disk].disk.failed:
+            return True
+        frontier = self._rebuild_frontier.get(disk)
+        return frontier is not None and row >= frontier
+
+    def _surviving(self, disks: list[int], exclude: int,
+                   row: int) -> list[int]:
+        result = []
+        for disk in disks:
+            if disk == exclude:
+                continue
+            if self._unavailable(disk, row):
+                raise UnrecoverableArrayError(
+                    f"{self.name}: second failure on disk {disk}")
+            result.append(disk)
+        return result
+
+    def _read_piece(self, piece: Piece):
+        if self._unavailable(piece.disk, piece.row):
+            data = yield from self._degraded_read(piece)
+            return data
+        try:
+            data = yield from self.paths[piece.disk].read(piece.lba,
+                                                          piece.nsectors)
+            return data
+        except DiskFailedError:
+            data = yield from self._degraded_read(piece)
+            return data
+
+    # ------------------------------------------------------------------
+    # degraded read: XOR of every other unit in the row
+    # ------------------------------------------------------------------
+    def _degraded_read(self, piece: Piece):
+        self.degraded_reads += 1
+        data = yield from self._reconstruct_range(
+            piece.row, piece.disk,
+            piece.unit_offset // SECTOR_SIZE, piece.nsectors)
+        return data
+
+    def _reconstruct_range(self, row: int, failed_disk: int,
+                           sector_offset: int, nsectors: int):
+        """Process: rebuild ``nsectors`` of ``failed_disk``'s unit in ``row``."""
+        others = self._surviving(self._row_disks(row), failed_disk, row)
+        lba = self.layout.row_lba(row) + sector_offset
+        procs = [self.sim.process(self.paths[disk].read(lba, nsectors))
+                 for disk in others]
+        blocks = yield self.sim.all_of(procs)
+        parity = yield from self.parity.compute(blocks)
+        return parity
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+    def write(self, offset: int, data: bytes):
+        """Process: write a logical range with parity maintenance."""
+        pieces = self.layout.map_data(offset, len(data))
+        by_row: dict[int, list[Piece]] = {}
+        for piece in pieces:
+            by_row.setdefault(piece.row, []).append(piece)
+        procs = [
+            self.sim.process(self._write_row(row, row_pieces, offset, data),
+                             name=f"{self.name}.row{row}.write")
+            for row, row_pieces in by_row.items()
+        ]
+        yield self.sim.all_of(procs)
+        return None
+
+    def _payload_of(self, piece: Piece, offset: int, data: bytes) -> bytes:
+        start = piece.logical_offset - offset
+        return data[start:start + piece.nbytes]
+
+    def _write_row(self, row: int, pieces: list[Piece], offset: int,
+                   data: bytes):
+        lock = self._row_lock(row)
+        yield lock.acquire()
+        try:
+            row_bytes = (self.layout.data_units_per_row
+                         * self.layout.stripe_unit_bytes)
+            covered = sum(piece.nbytes for piece in pieces)
+            if covered == row_bytes:
+                yield from self._full_stripe_write(row, pieces, offset, data)
+            else:
+                yield from self._partial_write(row, pieces, offset, data)
+        finally:
+            lock.release()
+        return None
+
+    def _write_with_parity(self, data_writes, parity_disk: int,
+                           parity_lba: int, parity_blocks):
+        """Process: run data writes concurrently with the parity
+        computation; the parity write starts as soon as the engine
+        finishes (the crossbar streamed all three concurrently)."""
+        procs = list(data_writes)
+        parity_proc = self.sim.process(self.parity.compute(parity_blocks))
+
+        def parity_then_write():
+            parity_block = yield parity_proc
+            if not self.paths[parity_disk].disk.failed:
+                yield from self.paths[parity_disk].write(parity_lba,
+                                                         parity_block)
+
+        procs.append(self.sim.process(parity_then_write()))
+        yield self.sim.all_of(procs)
+        return None
+
+    def _full_stripe_write(self, row: int, pieces: list[Piece], offset: int,
+                           data: bytes):
+        self.full_stripe_writes += 1
+        layout = self._layout5
+        ordered = sorted(pieces, key=lambda p: p.logical_offset)
+        unit_payloads = [self._payload_of(piece, offset, data)
+                         for piece in ordered]
+        parity_disk = layout.parity_disk(row)
+        lba = self.layout.row_lba(row)
+        data_writes = [
+            self.sim.process(self.paths[piece.disk].write(piece.lba, payload))
+            for piece, payload in zip(ordered, unit_payloads)
+            if not self.paths[piece.disk].disk.failed
+        ]
+        yield from self._write_with_parity(data_writes, parity_disk, lba,
+                                           unit_payloads)
+        return None
+
+    def _partial_write(self, row: int, pieces: list[Piece], offset: int,
+                       data: bytes):
+        layout = self._layout5
+        parity_disk = layout.parity_disk(row)
+        parity_failed = self._unavailable(parity_disk, row)
+        target_failed = any(self._unavailable(p.disk, row) for p in pieces)
+
+        if parity_failed and target_failed:
+            raise UnrecoverableArrayError(
+                f"{self.name}: write to row {row} lost both a data disk "
+                "and the parity disk")
+        if parity_failed:
+            # No parity to maintain: just write the surviving data.
+            procs = [
+                self.sim.process(self.paths[p.disk].write(
+                    p.lba, self._payload_of(p, offset, data)))
+                for p in pieces
+            ]
+            yield self.sim.all_of(procs)
+            return None
+        if target_failed or self._any_row_disk_failed(row):
+            yield from self._degraded_row_write(row, pieces, offset, data)
+            return None
+        # Choose the cheaper healthy-path update: the classic
+        # read-modify-write touches the written extents plus parity,
+        # while a reconstruct-write reads only the *untouched* units.
+        row_bytes = (self.layout.data_units_per_row
+                     * self.layout.stripe_unit_bytes)
+        covered = sum(piece.nbytes for piece in pieces)
+        if covered * 2 > row_bytes:
+            yield from self._reconstruct_write(row, pieces, offset, data)
+        else:
+            yield from self._rmw_write(row, pieces, offset, data)
+        return None
+
+    def _any_row_disk_failed(self, row: int) -> bool:
+        return any(self._unavailable(d, row) for d in self._row_disks(row))
+
+    def _rmw_write(self, row: int, pieces: list[Piece], offset: int,
+                   data: bytes):
+        """The classic four-access small write.
+
+        Reads the old data and the old parity over the union of the
+        written intra-unit ranges, computes ``new parity = old parity
+        XOR old data XOR new data``, then writes new data and parity.
+        """
+        self.rmw_writes += 1
+        layout = self._layout5
+        parity_disk = layout.parity_disk(row)
+        lo = min(piece.unit_offset for piece in pieces)
+        hi = max(piece.unit_offset + piece.nbytes for piece in pieces)
+        parity_lba = self.layout.row_lba(row) + lo // SECTOR_SIZE
+        parity_sectors = (hi - lo) // SECTOR_SIZE
+
+        read_procs = [self.sim.process(
+            self.paths[piece.disk].read(piece.lba, piece.nsectors))
+            for piece in pieces]
+        read_procs.append(self.sim.process(
+            self.paths[parity_disk].read(parity_lba, parity_sectors)))
+        old_values = yield self.sim.all_of(read_procs)
+        old_data, old_parity = old_values[:-1], old_values[-1]
+
+        # Build equal-length delta blocks over [lo, hi) and XOR them
+        # with the old parity; the parity computer charges the engine
+        # traffic for the combination.
+        deltas = []
+        for piece, old in zip(pieces, old_data):
+            new = self._payload_of(piece, offset, data)
+            delta = bytearray(hi - lo)
+            at = piece.unit_offset - lo
+            delta[at:at + piece.nbytes] = xor_blocks([old, new])
+            deltas.append(bytes(delta))
+
+        data_writes = [self.sim.process(
+            self.paths[piece.disk].write(
+                piece.lba, self._payload_of(piece, offset, data)))
+            for piece in pieces]
+        yield from self._write_with_parity(
+            data_writes, parity_disk, parity_lba, [old_parity] + deltas)
+        return None
+
+    def _reconstruct_write(self, row: int, pieces: list[Piece], offset: int,
+                           data: bytes):
+        """Large partial-row write: read the untouched units, compute
+        fresh parity over the whole row, write the new data and parity.
+
+        Cheaper than RMW when the write covers more than half the row —
+        the case for big requests that straddle a row boundary.
+        """
+        layout = self._layout5
+        unit = self.layout.stripe_unit_bytes
+        parity_disk = layout.parity_disk(row)
+        lba = self.layout.row_lba(row)
+        nsectors = self.layout.unit_sectors
+
+        by_unit: dict[int, list[Piece]] = {}
+        for piece in pieces:
+            k = self._unit_index_in_row(row, piece.disk)
+            by_unit.setdefault(k, []).append(piece)
+
+        # The new data can start flowing to its disks immediately — the
+        # reads needed for parity touch *different* (untouched) disks.
+        fully_covered = {
+            k for k, unit_pieces in by_unit.items()
+            if sum(p.nbytes for p in unit_pieces) == unit
+        }
+        data_writes = [self.sim.process(
+            self.paths[piece.disk].write(
+                piece.lba, self._payload_of(piece, offset, data)))
+            for piece in pieces
+            if self._unit_index_in_row(row, piece.disk) in fully_covered]
+
+        fetch_units = [
+            k for k in range(self.layout.data_units_per_row)
+            if k not in fully_covered
+        ]
+        read_procs = [self.sim.process(
+            self.paths[layout.data_disk(row, k)].read(lba, nsectors))
+            for k in fetch_units]
+        old_blocks = yield self.sim.all_of(read_procs)
+
+        images: list[bytearray] = [bytearray(unit)
+                                   for _ in range(self.layout.data_units_per_row)]
+        for k, block in zip(fetch_units, old_blocks):
+            images[k][:] = block
+        for k, unit_pieces in by_unit.items():
+            for piece in unit_pieces:
+                payload = self._payload_of(piece, offset, data)
+                images[k][piece.unit_offset:piece.unit_offset
+                          + piece.nbytes] = payload
+        final = [bytes(image) for image in images]
+
+        # Partially-covered units rewrite their new extents now that
+        # their old contents have been captured.
+        data_writes += [self.sim.process(
+            self.paths[piece.disk].write(
+                piece.lba, self._payload_of(piece, offset, data)))
+            for piece in pieces
+            if self._unit_index_in_row(row, piece.disk) not in fully_covered]
+        yield from self._write_with_parity(data_writes, parity_disk, lba,
+                                           final)
+        return None
+
+    def _degraded_row_write(self, row: int, pieces: list[Piece], offset: int,
+                            data: bytes):
+        """Reconstruct-write: rebuild the whole row image, then rewrite.
+
+        Used whenever any disk in the row is down: old units are
+        fetched (reconstructing the failed one through the *old*
+        parity), the new data is overlaid, fresh parity is computed
+        over the full row, and every surviving changed unit plus the
+        parity is written.
+        """
+        layout = self._layout5
+        unit = self.layout.stripe_unit_bytes
+        parity_disk = layout.parity_disk(row)
+        lba = self.layout.row_lba(row)
+        nsectors = self.layout.unit_sectors
+
+        units: list[bytes] = []
+        for k in range(self.layout.data_units_per_row):
+            disk = layout.data_disk(row, k)
+            if self._unavailable(disk, row):
+                block = yield from self._reconstruct_range(row, disk, 0,
+                                                           nsectors)
+            else:
+                block = yield from self.paths[disk].read(lba, nsectors)
+            units.append(block)
+
+        images = [bytearray(block) for block in units]
+        for piece in pieces:
+            k = self._unit_index_in_row(row, piece.disk)
+            payload = self._payload_of(piece, offset, data)
+            images[k][piece.unit_offset:piece.unit_offset + piece.nbytes] = \
+                payload
+        final = [bytes(image) for image in images]
+        parity_block = yield from self.parity.compute(final)
+
+        procs = []
+        for k in range(self.layout.data_units_per_row):
+            disk = layout.data_disk(row, k)
+            if self.paths[disk].disk.failed:
+                continue
+            if final[k] == units[k]:
+                continue  # unchanged unit
+            procs.append(self.sim.process(
+                self.paths[disk].write(lba, final[k])))
+        procs.append(self.sim.process(
+            self.paths[parity_disk].write(lba, parity_block)))
+        yield self.sim.all_of(procs)
+        return None
+
+    def _unit_index_in_row(self, row: int, disk: int) -> int:
+        layout = self._layout5
+        for k in range(self.layout.data_units_per_row):
+            if layout.data_disk(row, k) == disk:
+                return k
+        raise RaidError(f"disk {disk} holds no data unit in row {row}")
+
+    # ------------------------------------------------------------------
+    # rebuild and verification
+    # ------------------------------------------------------------------
+    def rebuild(self, disk_index: int, max_rows: Optional[int] = None):
+        """Process: reconstruct a replaced disk's every unit from peers.
+
+        While the rebuild runs, a *frontier* marks how far it has got:
+        reads and writes treat the un-rebuilt remainder of the disk as
+        unavailable and fall back to reconstruction, so clients can keep
+        operating at full correctness throughout.  Each row is rebuilt
+        under its row lock so concurrent writes serialize cleanly.
+        """
+        rows = self.layout.rows if max_rows is None else min(
+            self.layout.rows, max_rows)
+        nsectors = self.layout.unit_sectors
+        self._rebuild_frontier[disk_index] = 0
+        try:
+            for row in range(rows):
+                lock = self._row_lock(row)
+                yield lock.acquire()
+                try:
+                    others = self._surviving(self._row_disks(row),
+                                             disk_index, row)
+                    lba = self.layout.row_lba(row)
+                    procs = [self.sim.process(
+                        self.paths[d].read(lba, nsectors)) for d in others]
+                    blocks = yield self.sim.all_of(procs)
+                    unit = yield from self.parity.compute(blocks)
+                    yield from self.paths[disk_index].write(lba, unit)
+                    self._rebuild_frontier[disk_index] = row + 1
+                finally:
+                    lock.release()
+        finally:
+            # Rows past max_rows (when bounded) remain untrusted only
+            # for the duration of the call; a bounded rebuild is a test
+            # convenience and callers treat the disk as fully rebuilt.
+            del self._rebuild_frontier[disk_index]
+        return None
+
+    def verify_parity(self, max_rows: Optional[int] = None) -> bool:
+        """Instant check: every row's parity equals the XOR of its data."""
+        rows = self.layout.rows if max_rows is None else min(
+            self.layout.rows, max_rows)
+        nsectors = self.layout.unit_sectors
+        for row in range(rows):
+            lba = self.layout.row_lba(row)
+            data_blocks = [
+                self.paths[self._layout5.data_disk(row, k)].disk.peek(
+                    lba, nsectors)
+                for k in range(self.layout.data_units_per_row)
+            ]
+            parity = self.paths[self._layout5.parity_disk(row)].disk.peek(
+                lba, nsectors)
+            if xor_blocks(data_blocks) != parity:
+                return False
+        return True
+
+
+class Raid3Controller(_BaseController):
+    """Sector-interleaved RAID 3 with a dedicated parity disk.
+
+    The entire array is a single server: operations are serialized by
+    an array-wide lock, and every operation engages all data disks over
+    whole rows (partial rows are read-modify-written).
+    """
+
+    def __init__(self, sim: Simulator, paths: Sequence,
+                 parity_computer=None, name: str = "raid3"):
+        capacity = min(path.disk.spec.capacity_bytes for path in paths)
+        layout = Raid3Layout(len(paths), capacity)
+        super().__init__(sim, paths, layout, name)
+        self._layout3 = layout
+        self.parity = parity_computer if parity_computer is not None \
+            else InstantParity()
+        self._array_lock = Resource(sim, capacity=1, name=f"{name}.lock")
+
+    @property
+    def row_bytes(self) -> int:
+        return self.layout.data_units_per_row * SECTOR_SIZE
+
+    def _row_span(self, offset: int, nbytes: int) -> tuple[int, int]:
+        first = offset // self.row_bytes
+        last = (offset + nbytes - 1) // self.row_bytes
+        return first, last
+
+    def _read_rows(self, first_row: int, last_row: int):
+        """Process: read full rows from all data disks; returns buffers."""
+        nrows = last_row - first_row + 1
+        procs = [
+            self.sim.process(self.paths[d].read(first_row, nrows))
+            for d in range(self.layout.data_units_per_row)
+        ]
+        buffers = yield self.sim.all_of(procs)
+        return buffers
+
+    @staticmethod
+    def _interleave(buffers: list[bytes]) -> bytes:
+        """Merge per-disk buffers back into logical sector order."""
+        nrows = len(buffers[0]) // SECTOR_SIZE
+        out = bytearray(nrows * len(buffers) * SECTOR_SIZE)
+        for disk_index, buffer in enumerate(buffers):
+            for row in range(nrows):
+                src = row * SECTOR_SIZE
+                dst = (row * len(buffers) + disk_index) * SECTOR_SIZE
+                out[dst:dst + SECTOR_SIZE] = buffer[src:src + SECTOR_SIZE]
+        return bytes(out)
+
+    @staticmethod
+    def _deinterleave(data: bytes, ndisks: int) -> list[bytes]:
+        """Split logical sector order into per-disk buffers."""
+        nsectors = len(data) // SECTOR_SIZE
+        nrows = nsectors // ndisks
+        buffers = [bytearray(nrows * SECTOR_SIZE) for _ in range(ndisks)]
+        for sector in range(nsectors):
+            disk_index = sector % ndisks
+            row = sector // ndisks
+            src = sector * SECTOR_SIZE
+            buffers[disk_index][row * SECTOR_SIZE:(row + 1) * SECTOR_SIZE] = \
+                data[src:src + SECTOR_SIZE]
+        return [bytes(buffer) for buffer in buffers]
+
+    def read(self, offset: int, nbytes: int):
+        """Process: read a logical range (whole rows, one I/O at a time)."""
+        self.layout.check_range(offset, nbytes)
+        yield self._array_lock.acquire()
+        try:
+            first, last = self._row_span(offset, nbytes)
+            buffers = yield from self._read_rows(first, last)
+            logical = self._interleave(buffers)
+            start = offset - first * self.row_bytes
+            return logical[start:start + nbytes]
+        finally:
+            self._array_lock.release()
+
+    def write(self, offset: int, data: bytes):
+        """Process: write a logical range with whole-row parity."""
+        self.layout.check_range(offset, len(data))
+        yield self._array_lock.acquire()
+        try:
+            first, last = self._row_span(offset, len(data))
+            span_bytes = (last - first + 1) * self.row_bytes
+            start = offset - first * self.row_bytes
+            aligned = start == 0 and len(data) == span_bytes
+            if aligned:
+                logical = data
+            else:
+                old_buffers = yield from self._read_rows(first, last)
+                image = bytearray(self._interleave(old_buffers))
+                image[start:start + len(data)] = data
+                logical = bytes(image)
+            ndisks = self.layout.data_units_per_row
+            buffers = self._deinterleave(logical, ndisks)
+            parity = yield from self.parity.compute(buffers)
+            procs = [
+                self.sim.process(self.paths[d].write(first, buffers[d]))
+                for d in range(ndisks)
+            ]
+            parity_disk = self._layout3.parity_disk(0)
+            procs.append(self.sim.process(
+                self.paths[parity_disk].write(first, parity)))
+            yield self.sim.all_of(procs)
+            return None
+        finally:
+            self._array_lock.release()
+
+    def verify_parity(self, max_rows: Optional[int] = None) -> bool:
+        """Instant check of the dedicated parity disk."""
+        rows = self.layout.rows if max_rows is None else min(
+            self.layout.rows, max_rows)
+        ndisks = self.layout.data_units_per_row
+        parity_disk = self._layout3.parity_disk(0)
+        for row in range(rows):
+            data_blocks = [self.paths[d].disk.peek(row, 1)
+                           for d in range(ndisks)]
+            parity = self.paths[parity_disk].disk.peek(row, 1)
+            if xor_blocks(data_blocks) != parity:
+                return False
+        return True

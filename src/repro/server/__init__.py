@@ -1,0 +1,19 @@
+"""The assembled file servers.
+
+:class:`Raid2Server` is the paper's artefact: a Sun 4/280 host, one or
+more XBUS boards with their disk subsystems, HIPPI network ports and
+an Ethernet — with RAID 5 and LFS layered on top, and both the
+high-bandwidth (HIPPI, host-bypassing) and standard (Ethernet,
+through-host) access modes.
+
+:class:`Raid1Server` is the 1989 RAID-I prototype used as the paper's
+baseline: the same class of host, but every byte crosses the host's
+backplane and memory system, which is why it tops out at
+~2.3 MB/s delivered (Section 1).
+"""
+
+from repro.server.config import Raid2Config
+from repro.server.raid1_server import Raid1Server
+from repro.server.raid2 import Raid2Server
+
+__all__ = ["Raid1Server", "Raid2Config", "Raid2Server"]

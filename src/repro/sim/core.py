@@ -1,0 +1,344 @@
+"""Core event loop: :class:`Simulator`, :class:`Event` and :class:`Process`.
+
+The kernel is deliberately small.  An :class:`Event` is a one-shot
+condition that processes can wait on; a :class:`Process` wraps a Python
+generator and is itself an event (it fires when the generator returns,
+which makes joins trivial: ``yield other_process``).
+
+Semantics follow SimPy closely:
+
+* ``event.succeed(value)`` / ``event.fail(exc)`` *trigger* the event; its
+  callbacks run when the event is popped from the queue (same simulated
+  instant, deterministic FIFO order among same-time events).
+* A process that yields an event is resumed with the event's value, or
+  has the event's exception thrown into it.
+* A failing process re-raises out of :meth:`Simulator.run` unless another
+  process is waiting on it, in which case the exception propagates to the
+  waiter instead.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from repro.errors import SimulationError
+
+_UNSET = object()
+
+SimGenerator = Generator["Event", Any, Any]
+
+
+class Event:
+    """A one-shot occurrence that processes may wait on."""
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: list[Callable[["Event"], None]] = []
+        self._value: Any = _UNSET
+        self._exc: Optional[BaseException] = None
+        self._processed = False
+
+    # -- state ----------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once succeed()/fail() has been called."""
+        return self._value is not _UNSET or self._exc is not None
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run (the event has fully fired)."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        if not self.triggered:
+            raise SimulationError("event has not been triggered yet")
+        return self._exc is None
+
+    @property
+    def value(self) -> Any:
+        if self._exc is not None:
+            raise self._exc
+        if self._value is _UNSET:
+            raise SimulationError("event has no value yet")
+        return self._value
+
+    # -- triggering -----------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        self._value = value
+        self.sim._enqueue(0.0, self)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        if not isinstance(exc, BaseException):
+            raise SimulationError(f"fail() needs an exception, got {exc!r}")
+        self._exc = exc
+        self.sim._enqueue(0.0, self)
+        return self
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Run ``callback(self)`` when the event fires (immediately if fired)."""
+        if self._processed:
+            callback(self)
+        else:
+            self.callbacks.append(callback)
+
+    def _fire(self) -> None:
+        self._processed = True
+        callbacks, self.callbacks = self.callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "processed" if self._processed else (
+            "triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at t={self.sim.now:.6f}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed simulated delay."""
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay!r}")
+        super().__init__(sim)
+        self._value = value if value is not None else delay
+        sim._enqueue(delay, self)
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`."""
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Process(Event):
+    """A running simulation activity wrapping a generator.
+
+    The process *is* the event of its own termination: its value is the
+    generator's return value, and a failure inside the generator fails
+    the event.
+    """
+
+    def __init__(self, sim: "Simulator", generator: SimGenerator,
+                 name: str = ""):
+        super().__init__(sim)
+        if not hasattr(generator, "send"):
+            raise SimulationError(
+                f"process body must be a generator, got {generator!r}")
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._waiting_on: Optional[Event] = None
+        # Kick off at the current instant.
+        bootstrap = Event(sim)
+        bootstrap.add_callback(self._resume)
+        bootstrap.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self.triggered:
+            return
+        target = self._waiting_on
+        if target is not None and not target.processed:
+            # Stop listening to whatever we were waiting for.
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        poke = Event(self.sim)
+        poke.add_callback(lambda _ev: self._step(throw=Interrupt(cause)))
+        poke.succeed()
+
+    # -- internal ---------------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if event._exc is not None:
+            self._step(throw=event._exc)
+        else:
+            self._step(send=event._value)
+
+    def _step(self, send: Any = None, throw: Optional[BaseException] = None):
+        self._waiting_on = None
+        sim = self.sim
+        previous = sim._active_process
+        sim._active_process = self
+        try:
+            while True:
+                try:
+                    if throw is not None:
+                        exc, throw = throw, None
+                        target = self._generator.throw(exc)
+                    else:
+                        target = self._generator.send(send)
+                except StopIteration as stop:
+                    self.succeed(stop.value)
+                    return
+                except BaseException as exc:  # noqa: BLE001 - must capture all
+                    self._fail_process(exc)
+                    return
+                if not isinstance(target, Event):
+                    exc = SimulationError(
+                        f"process {self.name!r} yielded {target!r}; "
+                        "processes may only yield Event instances")
+                    self._fail_process(exc)
+                    return
+                if target.processed:
+                    # Already fired: continue synchronously.
+                    if target._exc is not None:
+                        throw = target._exc
+                    else:
+                        send = target._value
+                    continue
+                self._waiting_on = target
+                target.add_callback(self._resume)
+                return
+        finally:
+            sim._active_process = previous
+
+    def _fail_process(self, exc: BaseException) -> None:
+        if self.callbacks:
+            self.fail(exc)
+        else:
+            # Nobody is waiting: surface the error out of run().
+            self._exc = exc
+            self._value = _UNSET
+            self.sim._crash(exc)
+
+
+class _Condition(Event):
+    """Base for AllOf / AnyOf composite events."""
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self._events = list(events)
+        for event in self._events:
+            if event.sim is not sim:
+                raise SimulationError("condition mixes events from different simulators")
+        if not self._events:
+            self.succeed([])
+            return
+        self._pending = len(self._events)
+        for event in self._events:
+            event.add_callback(self._check)
+
+    def _check(self, event: Event) -> None:
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Fires when every constituent event has fired; value is their values."""
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if event._exc is not None:
+            self.fail(event._exc)
+            return
+        self._pending -= 1
+        if self._pending == 0:
+            self.succeed([ev._value for ev in self._events])
+
+
+class AnyOf(_Condition):
+    """Fires when the first constituent event fires; value is that value."""
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if event._exc is not None:
+            self.fail(event._exc)
+        else:
+            self.succeed(event._value)
+
+
+class Simulator:
+    """The event loop: a priority queue of (time, sequence, event)."""
+
+    def __init__(self):
+        self.now = 0.0
+        self._heap: list[tuple[float, int, Event]] = []
+        self._seq = count()
+        self._active_process: Optional[Process] = None
+        self._crashed: Optional[BaseException] = None
+
+    # -- factories --------------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: SimGenerator, name: str = "") -> Process:
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling ---------------------------------------------------------
+    def _enqueue(self, delay: float, event: Event) -> None:
+        heapq.heappush(self._heap, (self.now + delay, next(self._seq), event))
+
+    def _crash(self, exc: BaseException) -> None:
+        if self._crashed is None:
+            self._crashed = exc
+
+    # -- execution ----------------------------------------------------------
+    def step(self) -> None:
+        """Fire the single next event."""
+        when, _seq, event = heapq.heappop(self._heap)
+        if when < self.now:
+            raise SimulationError("event queue went backwards in time")
+        self.now = when
+        event._fire()
+        if self._crashed is not None:
+            exc, self._crashed = self._crashed, None
+            raise exc
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the queue drains or simulated time reaches ``until``.
+
+        Returns the simulation clock after running.
+        """
+        while self._heap:
+            when = self._heap[0][0]
+            if until is not None and when > until:
+                self.now = until
+                return self.now
+            self.step()
+        if until is not None and until > self.now:
+            self.now = until
+        return self.now
+
+    def run_process(self, generator: SimGenerator, name: str = "") -> Any:
+        """Run ``generator`` as a process to completion and return its value.
+
+        This is the bridge between the synchronous public API and the
+        event loop: facades wrap an I/O path generator and call this.
+        """
+        proc = self.process(generator, name=name)
+        # Keep a callback registered so a failure propagates here rather
+        # than crashing the run loop.
+        proc.add_callback(lambda _ev: None)
+        while not proc.triggered:
+            if not self._heap:
+                raise SimulationError(
+                    f"deadlock: process {proc.name!r} cannot complete "
+                    "(event queue is empty)")
+            self.step()
+        return proc.value

@@ -1,0 +1,125 @@
+"""Measurement helpers: throughput meters, latency and busy-time stats."""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.errors import SimulationError
+from repro.sim.core import Simulator
+from repro.units import MB
+
+
+class ThroughputMeter:
+    """Accumulates completed bytes/operations over a measured window."""
+
+    def __init__(self, sim: Simulator, name: str = ""):
+        self.sim = sim
+        self.name = name
+        self.bytes_done = 0
+        self.ops_done = 0
+        self._start: Optional[float] = None
+        self._end: Optional[float] = None
+
+    def start(self) -> None:
+        self._start = self.sim.now
+
+    def record(self, nbytes: int) -> None:
+        if self._start is None:
+            self.start()
+        self.bytes_done += nbytes
+        self.ops_done += 1
+        self._end = self.sim.now
+
+    @property
+    def elapsed(self) -> float:
+        if self._start is None or self._end is None:
+            raise SimulationError("meter has not recorded anything")
+        return self._end - self._start
+
+    @property
+    def mb_per_s(self) -> float:
+        elapsed = self.elapsed
+        if elapsed <= 0:
+            raise SimulationError("no elapsed time recorded")
+        return self.bytes_done / MB / elapsed
+
+    @property
+    def ios_per_s(self) -> float:
+        elapsed = self.elapsed
+        if elapsed <= 0:
+            raise SimulationError("no elapsed time recorded")
+        return self.ops_done / elapsed
+
+
+class LatencyMonitor:
+    """Collects per-operation latencies and reports summary statistics."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.samples: list[float] = []
+
+    def record(self, latency: float) -> None:
+        if latency < 0:
+            raise SimulationError(f"negative latency: {latency!r}")
+        self.samples.append(latency)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    @property
+    def mean(self) -> float:
+        if not self.samples:
+            raise SimulationError("no samples")
+        return sum(self.samples) / len(self.samples)
+
+    @property
+    def maximum(self) -> float:
+        if not self.samples:
+            raise SimulationError("no samples")
+        return max(self.samples)
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile, ``p`` in [0, 100]."""
+        if not self.samples:
+            raise SimulationError("no samples")
+        if not 0 <= p <= 100:
+            raise SimulationError(f"percentile out of range: {p!r}")
+        ordered = sorted(self.samples)
+        if p == 0:
+            return ordered[0]
+        rank = max(1, math.ceil(p / 100 * len(ordered)))
+        return ordered[rank - 1]
+
+
+class BusyMonitor:
+    """Tracks how long a component spends busy, for utilization reports."""
+
+    def __init__(self, sim: Simulator, name: str = ""):
+        self.sim = sim
+        self.name = name
+        self.busy_time = 0.0
+        self._busy_since: Optional[float] = None
+        self._depth = 0
+
+    def enter(self) -> None:
+        if self._depth == 0:
+            self._busy_since = self.sim.now
+        self._depth += 1
+
+    def exit(self) -> None:
+        if self._depth <= 0:
+            raise SimulationError(f"BusyMonitor {self.name!r} exit without enter")
+        self._depth -= 1
+        if self._depth == 0:
+            assert self._busy_since is not None
+            self.busy_time += self.sim.now - self._busy_since
+            self._busy_since = None
+
+    def utilization(self, elapsed: float) -> float:
+        if elapsed <= 0:
+            raise SimulationError("elapsed must be positive")
+        busy = self.busy_time
+        if self._busy_since is not None:
+            busy += self.sim.now - self._busy_since
+        return min(1.0, busy / elapsed)

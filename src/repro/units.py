@@ -1,0 +1,47 @@
+"""Unit constants and conversion helpers.
+
+All simulated time is in **seconds** (floats) and all sizes are in
+**bytes** (ints).  The paper reports throughput in megabytes/second
+(decimal, as was the custom for storage in 1994) and request sizes in
+kilobytes, so the helpers here use decimal multiples to stay comparable
+with the published figures.
+"""
+
+from __future__ import annotations
+
+# --- sizes ------------------------------------------------------------
+KB = 1000
+MB = 1000 * 1000
+GB = 1000 * 1000 * 1000
+
+KIB = 1024
+MIB = 1024 * 1024
+
+SECTOR_SIZE = 512
+
+# --- time -------------------------------------------------------------
+US = 1e-6
+MS = 1e-3
+SECOND = 1.0
+MINUTE = 60.0
+
+
+def mb_per_s(nbytes: int, seconds: float) -> float:
+    """Throughput in megabytes/second for ``nbytes`` moved in ``seconds``."""
+    if seconds <= 0:
+        raise ValueError(f"elapsed time must be positive, got {seconds!r}")
+    return nbytes / MB / seconds
+
+
+def ios_per_s(count: int, seconds: float) -> float:
+    """Operation rate in I/Os per second."""
+    if seconds <= 0:
+        raise ValueError(f"elapsed time must be positive, got {seconds!r}")
+    return count / seconds
+
+
+def transfer_time(nbytes: int, rate_mb_s: float) -> float:
+    """Seconds needed to move ``nbytes`` at ``rate_mb_s`` megabytes/second."""
+    if rate_mb_s <= 0:
+        raise ValueError(f"rate must be positive, got {rate_mb_s!r}")
+    return nbytes / (rate_mb_s * MB)

@@ -1,0 +1,8 @@
+"""Workload generation and measurement runners for the experiments."""
+
+from repro.workloads.generators import (random_aligned_offsets,
+                                        sequential_offsets)
+from repro.workloads.runner import Measurement, run_request_stream
+
+__all__ = ["Measurement", "random_aligned_offsets", "run_request_stream",
+           "sequential_offsets"]

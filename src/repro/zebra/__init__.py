@@ -1,0 +1,24 @@
+"""Zebra: striping files across multiple file servers (Section 5.2).
+
+The paper closes by pointing at Zebra (Hartman & Ousterhout) as the
+way to push past a single XBUS board: "striping high-bandwidth file
+accesses over multiple network connections, and therefore across
+multiple XBUS boards", combining "from RAID, the ideas of combining
+many relatively low-performance devices into a single high-performance
+logical device, and using parity to survive device failures; and from
+LFS the concept of treating the storage system as a log".
+
+This subpackage implements that future-work system over the RAID-II
+substrate: a :class:`ZebraClient` forms its writes into a per-client
+append-only log, cuts the log into stripes of fragments, computes a
+parity fragment per stripe, and spreads each stripe across a set of
+:class:`ZebraStorageServer` nodes (each one a RAID-II server whose
+"very simple operation" is storing opaque log fragments).  Any single
+storage server can be lost: reads reconstruct through the stripe
+parity, exactly as RAID does across disks.
+"""
+
+from repro.zebra.client import ZebraClient
+from repro.zebra.server import ZebraStorageServer
+
+__all__ = ["ZebraClient", "ZebraStorageServer"]

@@ -1,0 +1,267 @@
+"""Unit tests for LFS on-disk structure serialization."""
+
+import pytest
+
+from repro.errors import CorruptFileSystemError
+from repro.lfs.directory import (decode_directory, encode_directory,
+                                 split_path, validate_name)
+from repro.lfs.imap import PENDING, InodeMap
+from repro.lfs.ondisk import (BLOCK_SIZE, MAX_FRAGMENT_PAYLOAD, BlockId,
+                              BlockKind, Checkpoint, FileType,
+                              FragmentSummary, Inode, SegmentState,
+                              SegmentUsage, Superblock,
+                              decode_pointer_block, encode_pointer_block,
+                              ADDRS_PER_BLOCK, N_DIRECT)
+from repro.errors import FileSystemError
+
+
+# ---------------------------------------------------------------------------
+# superblock
+# ---------------------------------------------------------------------------
+
+def make_superblock():
+    return Superblock(block_size=BLOCK_SIZE, segment_blocks=240,
+                      nsegments=100, first_segment_block=5,
+                      checkpoint_blocks=2, checkpoint_a=1, checkpoint_b=3,
+                      max_inodes=1024)
+
+
+def test_superblock_roundtrip():
+    sb = make_superblock()
+    assert Superblock.decode(sb.encode()) == sb
+
+
+def test_superblock_is_one_block():
+    assert len(make_superblock().encode()) == BLOCK_SIZE
+
+
+def test_superblock_corruption_detected():
+    block = bytearray(make_superblock().encode())
+    block[10] ^= 0xFF
+    with pytest.raises(CorruptFileSystemError):
+        Superblock.decode(bytes(block))
+
+
+def test_superblock_zeros_rejected():
+    with pytest.raises(CorruptFileSystemError):
+        Superblock.decode(bytes(BLOCK_SIZE))
+
+
+# ---------------------------------------------------------------------------
+# checkpoint
+# ---------------------------------------------------------------------------
+
+def make_checkpoint():
+    return Checkpoint(
+        seq=7, next_fragment_seq=42, head_segment=3, head_offset=17,
+        imap_addrs=[11, 12, 0],
+        usage=[SegmentUsage(SegmentState.DIRTY, 8192, 5),
+               SegmentUsage(SegmentState.CLEAN, 0, 0),
+               SegmentUsage(SegmentState.CURRENT, 4096, 41)])
+
+
+def test_checkpoint_roundtrip():
+    cp = make_checkpoint()
+    decoded = Checkpoint.decode(cp.encode(region_blocks=2))
+    assert decoded.seq == cp.seq
+    assert decoded.next_fragment_seq == cp.next_fragment_seq
+    assert decoded.head_segment == cp.head_segment
+    assert decoded.head_offset == cp.head_offset
+    assert decoded.imap_addrs == cp.imap_addrs
+    assert [(u.state, u.live_bytes, u.last_seq) for u in decoded.usage] == \
+        [(u.state, u.live_bytes, u.last_seq) for u in cp.usage]
+
+
+def test_checkpoint_corruption_detected():
+    raw = bytearray(make_checkpoint().encode(region_blocks=2))
+    raw[20] ^= 0x01
+    with pytest.raises(CorruptFileSystemError):
+        Checkpoint.decode(bytes(raw))
+
+
+def test_checkpoint_too_big_for_region():
+    cp = Checkpoint(seq=1, next_fragment_seq=1, head_segment=0,
+                    head_offset=0, imap_addrs=[],
+                    usage=[SegmentUsage() for _ in range(1000)])
+    with pytest.raises(CorruptFileSystemError):
+        cp.encode(region_blocks=1)
+
+
+# ---------------------------------------------------------------------------
+# fragment summary
+# ---------------------------------------------------------------------------
+
+def test_summary_roundtrip():
+    entries = (BlockId(BlockKind.DATA, 5, 9),
+               BlockId(BlockKind.INODE, 5, 0),
+               BlockId(BlockKind.IMAP, 0, 1))
+    summary = FragmentSummary(seq=9, segment=4, entries=entries)
+    decoded = FragmentSummary.decode(summary.encode())
+    assert decoded == summary
+
+
+def test_summary_is_one_block():
+    summary = FragmentSummary(seq=1, segment=0, entries=())
+    assert len(summary.encode()) == BLOCK_SIZE
+
+
+def test_summary_max_payload_fits():
+    entries = tuple(BlockId(BlockKind.DATA, 1, i)
+                    for i in range(MAX_FRAGMENT_PAYLOAD))
+    summary = FragmentSummary(seq=1, segment=0, entries=entries)
+    assert FragmentSummary.decode(summary.encode()).entries == entries
+
+
+def test_summary_corruption_detected():
+    summary = FragmentSummary(seq=1, segment=0,
+                              entries=(BlockId(BlockKind.DATA, 1, 2),))
+    raw = bytearray(summary.encode())
+    raw[8] ^= 0xFF
+    with pytest.raises(CorruptFileSystemError):
+        FragmentSummary.decode(bytes(raw))
+
+
+def test_summary_zeros_rejected():
+    with pytest.raises(CorruptFileSystemError):
+        FragmentSummary.decode(bytes(BLOCK_SIZE))
+
+
+# ---------------------------------------------------------------------------
+# inode
+# ---------------------------------------------------------------------------
+
+def test_inode_roundtrip():
+    inode = Inode(7, FileType.REGULAR, size=123456, nlink=1, mtime=3.5)
+    inode.direct[0] = 99
+    inode.direct[N_DIRECT - 1] = 100
+    inode.indirect = 101
+    inode.dindirect = 102
+    decoded = Inode.decode(inode.encode())
+    assert decoded.ino == 7
+    assert decoded.ftype == FileType.REGULAR
+    assert decoded.size == 123456
+    assert decoded.mtime == 3.5
+    assert decoded.direct == inode.direct
+    assert decoded.indirect == 101
+    assert decoded.dindirect == 102
+
+
+def test_inode_copy_is_independent():
+    inode = Inode(1, FileType.DIRECTORY)
+    dup = inode.copy()
+    dup.direct[0] = 55
+    assert inode.direct[0] == 0
+
+
+def test_inode_corruption_detected():
+    raw = bytearray(Inode(1, FileType.REGULAR).encode())
+    raw[40] ^= 0xFF
+    with pytest.raises(CorruptFileSystemError):
+        Inode.decode(bytes(raw))
+
+
+# ---------------------------------------------------------------------------
+# pointer blocks
+# ---------------------------------------------------------------------------
+
+def test_pointer_block_roundtrip():
+    addrs = list(range(ADDRS_PER_BLOCK))
+    assert decode_pointer_block(encode_pointer_block(addrs)) == addrs
+
+
+def test_pointer_block_wrong_size_rejected():
+    with pytest.raises(CorruptFileSystemError):
+        encode_pointer_block([1, 2, 3])
+
+
+# ---------------------------------------------------------------------------
+# inode map
+# ---------------------------------------------------------------------------
+
+def test_imap_allocate_and_free():
+    imap = InodeMap(100)
+    a = imap.allocate()
+    b = imap.allocate()
+    assert a != b
+    assert imap.get(a) == PENDING
+    imap.set(a, 500)
+    imap.free(a)
+    assert not imap.is_allocated(a)
+    with pytest.raises(FileSystemError):
+        imap.free(a)
+
+
+def test_imap_block_roundtrip():
+    imap = InodeMap(1024)
+    imap.set(1, 111)
+    imap.set(600, 222)
+    other = InodeMap(1024)
+    for index in range(imap.n_blocks):
+        other.load_block(index, imap.encode_block(index))
+    assert other.get(1) == 111
+    assert other.get(600) == 222
+    assert other.allocated_inodes() == [1, 600]
+
+
+def test_imap_pending_never_encodes():
+    imap = InodeMap(100)
+    ino = imap.allocate()
+    with pytest.raises(CorruptFileSystemError):
+        imap.encode_block(ino // 512)
+
+
+def test_imap_exhaustion():
+    imap = InodeMap(2)  # rounds up to one imap block
+    count = 0
+    with pytest.raises(FileSystemError):
+        while True:
+            imap.allocate()
+            count += 1
+    assert count > 0
+
+
+def test_imap_out_of_range():
+    imap = InodeMap(100)
+    with pytest.raises(FileSystemError):
+        imap.get(0)
+    with pytest.raises(FileSystemError):
+        imap.get(imap.max_inodes)
+
+
+# ---------------------------------------------------------------------------
+# directories
+# ---------------------------------------------------------------------------
+
+def test_directory_roundtrip():
+    entries = {"alpha": (2, FileType.REGULAR),
+               "beta": (3, FileType.DIRECTORY)}
+    assert decode_directory(encode_directory(entries)) == entries
+
+
+def test_directory_empty():
+    assert decode_directory(encode_directory({})) == {}
+
+
+def test_directory_bad_names():
+    for name in ("", ".", "..", "a/b", "nul\x00char", "x" * 300):
+        with pytest.raises(FileSystemError):
+            validate_name(name)
+
+
+def test_directory_unicode_names():
+    entries = {"héllo-wörld": (9, FileType.REGULAR)}
+    assert decode_directory(encode_directory(entries)) == entries
+
+
+def test_directory_truncated_rejected():
+    payload = encode_directory({"abc": (2, FileType.REGULAR)})
+    with pytest.raises(CorruptFileSystemError):
+        decode_directory(payload[:-2])
+
+
+def test_split_path():
+    assert split_path("/") == []
+    assert split_path("/a/b/c") == ["a", "b", "c"]
+    assert split_path("/a//b/") == ["a", "b"]
+    with pytest.raises(FileSystemError):
+        split_path("relative/path")

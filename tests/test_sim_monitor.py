@@ -1,0 +1,118 @@
+"""Unit tests for measurement monitors."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import BusyMonitor, LatencyMonitor, Simulator, ThroughputMeter
+from repro.units import MB
+
+
+def test_throughput_meter_mb_per_s():
+    sim = Simulator()
+    meter = ThroughputMeter(sim)
+
+    def body():
+        meter.start()
+        yield sim.timeout(2.0)
+        meter.record(10 * MB)
+
+    sim.run_process(body())
+    assert meter.mb_per_s == pytest.approx(5.0)
+    assert meter.ios_per_s == pytest.approx(0.5)
+    assert meter.bytes_done == 10 * MB
+
+
+def test_throughput_meter_requires_samples():
+    meter = ThroughputMeter(Simulator())
+    with pytest.raises(SimulationError):
+        _ = meter.elapsed
+
+
+def test_throughput_meter_autostarts_on_first_record():
+    sim = Simulator()
+    meter = ThroughputMeter(sim)
+
+    def body():
+        yield sim.timeout(1.0)
+        meter.record(MB)
+        yield sim.timeout(1.0)
+        meter.record(MB)
+
+    sim.run_process(body())
+    assert meter.elapsed == pytest.approx(1.0)
+
+
+def test_latency_monitor_stats():
+    mon = LatencyMonitor()
+    for value in (0.01, 0.03, 0.02, 0.04):
+        mon.record(value)
+    assert len(mon) == 4
+    assert mon.mean == pytest.approx(0.025)
+    assert mon.maximum == pytest.approx(0.04)
+    assert mon.percentile(50) == pytest.approx(0.02)
+    assert mon.percentile(100) == pytest.approx(0.04)
+    assert mon.percentile(0) == pytest.approx(0.01)
+
+
+def test_latency_monitor_rejects_negative():
+    mon = LatencyMonitor()
+    with pytest.raises(SimulationError):
+        mon.record(-1.0)
+
+
+def test_latency_monitor_empty_rejected():
+    mon = LatencyMonitor()
+    with pytest.raises(SimulationError):
+        _ = mon.mean
+    with pytest.raises(SimulationError):
+        mon.percentile(50)
+
+
+def test_busy_monitor_tracks_utilization():
+    sim = Simulator()
+    mon = BusyMonitor(sim)
+
+    def body():
+        mon.enter()
+        yield sim.timeout(3.0)
+        mon.exit()
+        yield sim.timeout(1.0)
+
+    sim.run_process(body())
+    assert mon.busy_time == pytest.approx(3.0)
+    assert mon.utilization(4.0) == pytest.approx(0.75)
+
+
+def test_busy_monitor_nesting():
+    sim = Simulator()
+    mon = BusyMonitor(sim)
+
+    def body():
+        mon.enter()
+        yield sim.timeout(1.0)
+        mon.enter()  # nested: should not double count
+        yield sim.timeout(1.0)
+        mon.exit()
+        yield sim.timeout(1.0)
+        mon.exit()
+
+    sim.run_process(body())
+    assert mon.busy_time == pytest.approx(3.0)
+
+
+def test_busy_monitor_exit_without_enter():
+    mon = BusyMonitor(Simulator())
+    with pytest.raises(SimulationError):
+        mon.exit()
+
+
+def test_busy_monitor_counts_open_interval():
+    sim = Simulator()
+    mon = BusyMonitor(sim)
+
+    def body():
+        mon.enter()
+        yield sim.timeout(2.0)
+
+    sim.run_process(body())
+    assert mon.utilization(2.0) == pytest.approx(1.0)

@@ -1,0 +1,185 @@
+"""Tests for the Zebra striped network file system (Section 5.2)."""
+
+import random
+
+import pytest
+
+from repro.errors import FileNotFoundFsError, ProtocolError, RaidError
+from repro.sim import Simulator
+from repro.units import KIB, MIB
+from repro.zebra import ZebraClient, ZebraStorageServer
+
+
+def make_ensemble(sim, nservers=4, fragment_bytes=64 * KIB):
+    servers = [ZebraStorageServer(sim, name=f"zs{index}")
+               for index in range(nservers)]
+    client = ZebraClient(sim, servers, fragment_bytes=fragment_bytes)
+    return servers, client
+
+
+def pattern(nbytes, seed=0):
+    return random.Random(seed).randbytes(nbytes)
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+def test_requires_three_servers(sim):
+    servers = [ZebraStorageServer(sim) for _ in range(2)]
+    with pytest.raises(RaidError):
+        ZebraClient(sim, servers)
+
+
+def test_fragment_size_must_be_block_multiple(sim):
+    servers = [ZebraStorageServer(sim) for _ in range(3)]
+    with pytest.raises(RaidError):
+        ZebraClient(sim, servers, fragment_bytes=5000)
+
+
+def test_roundtrip_through_buffer(sim):
+    _servers, client = make_ensemble(sim)
+    payload = pattern(20 * KIB, seed=1)
+    client.create("/f")
+    sim.run_process(client.write("/f", 0, payload))
+    assert sim.run_process(client.read("/f", 0, len(payload))) == payload
+
+
+def test_roundtrip_after_flush(sim):
+    servers, client = make_ensemble(sim)
+    payload = pattern(1 * MIB, seed=2)
+    client.create("/f")
+    sim.run_process(client.write("/f", 0, payload))
+    sim.run_process(client.sync())
+    assert client.stripes_flushed >= 5
+    assert sim.run_process(client.read("/f", 0, len(payload))) == payload
+    # Fragments really landed on the servers.
+    assert sum(server.fragments_stored for server in servers) >= 5 * 4
+
+
+def test_parity_rotates_across_servers(sim):
+    _servers, client = make_ensemble(sim, nservers=4)
+    assert [client.parity_server(stripe) for stripe in range(5)] == \
+        [0, 1, 2, 3, 0]
+    for stripe in range(4):
+        parity = client.parity_server(stripe)
+        data_nodes = [client.data_server(stripe, pos) for pos in range(3)]
+        assert parity not in data_nodes
+        assert sorted(data_nodes + [parity]) == [0, 1, 2, 3]
+
+
+def test_sub_block_overwrite(sim):
+    _servers, client = make_ensemble(sim)
+    client.create("/f")
+    sim.run_process(client.write("/f", 0, b"A" * 10_000))
+    sim.run_process(client.sync())
+    sim.run_process(client.write("/f", 100, b"B" * 50))
+    data = sim.run_process(client.read("/f", 0, 10_000))
+    assert data == b"A" * 100 + b"B" * 50 + b"A" * 9850
+
+
+def test_buffered_rewrite_replaces_in_place(sim):
+    _servers, client = make_ensemble(sim)
+    client.create("/f")
+    sim.run_process(client.write("/f", 0, pattern(4096, seed=3)))
+    buffered = len(client._buffer)
+    sim.run_process(client.write("/f", 0, pattern(4096, seed=4)))
+    assert len(client._buffer) == buffered  # absorbed, no new log block
+    assert sim.run_process(client.read("/f", 0, 4096)) == pattern(4096,
+                                                                  seed=4)
+
+
+def test_holes_read_as_zeros(sim):
+    _servers, client = make_ensemble(sim)
+    client.create("/f")
+    sim.run_process(client.write("/f", 100 * KIB, b"tail"))
+    data = sim.run_process(client.read("/f", 0, 4096))
+    assert data == bytes(4096)
+
+
+def test_single_server_loss_is_survivable(sim):
+    servers, client = make_ensemble(sim)
+    payload = pattern(1 * MIB, seed=5)
+    client.create("/f")
+    sim.run_process(client.write("/f", 0, payload))
+    sim.run_process(client.sync())
+
+    servers[1].fail()
+    data = sim.run_process(client.read("/f", 0, len(payload)))
+    assert data == payload
+    assert client.fragments_rebuilt > 0
+
+
+def test_double_server_loss_is_fatal(sim):
+    servers, client = make_ensemble(sim)
+    client.create("/f")
+    sim.run_process(client.write("/f", 0, pattern(1 * MIB, seed=6)))
+    sim.run_process(client.sync())
+    servers[1].fail()
+    servers[2].fail()
+
+    def body():
+        yield from client.read("/f", 0, 1 * MIB)
+
+    with pytest.raises(RaidError):
+        sim.run_process(body())
+
+
+def test_restored_server_serves_again(sim):
+    servers, client = make_ensemble(sim)
+    payload = pattern(512 * KIB, seed=7)
+    client.create("/f")
+    sim.run_process(client.write("/f", 0, payload))
+    sim.run_process(client.sync())
+    servers[0].fail()
+    assert sim.run_process(client.read("/f", 0, len(payload))) == payload
+    servers[0].restore()
+    rebuilt_before = client.fragments_rebuilt
+    assert sim.run_process(client.read("/f", 0, len(payload))) == payload
+    assert client.fragments_rebuilt == rebuilt_before  # no rebuild needed
+
+
+def test_delete_removes_mappings(sim):
+    _servers, client = make_ensemble(sim)
+    client.create("/f")
+    sim.run_process(client.write("/f", 0, b"x" * 4096))
+    client.delete("/f")
+    assert not client.exists("/f")
+    with pytest.raises(FileNotFoundFsError):
+        client.size_of("/f")
+
+
+def test_server_rejects_duplicate_and_unknown_fragments(sim):
+    server = ZebraStorageServer(sim)
+
+    def body():
+        yield from server.store((0, 0, 0), bytes(4096))
+        yield from server.store((0, 0, 0), bytes(4096))
+
+    with pytest.raises(ProtocolError):
+        sim.run_process(body())
+
+    def fetch_missing():
+        yield from server.fetch((9, 9, 9))
+
+    with pytest.raises(ProtocolError):
+        sim.run_process(fetch_missing())
+
+
+def test_multiple_files_interleaved(sim):
+    _servers, client = make_ensemble(sim)
+    a = pattern(300 * KIB, seed=8)
+    b = pattern(300 * KIB, seed=9)
+    client.create("/a")
+    client.create("/b")
+
+    def body():
+        for index in range(0, 300 * KIB, 50 * KIB):
+            yield from client.write("/a", index, a[index:index + 50 * KIB])
+            yield from client.write("/b", index, b[index:index + 50 * KIB])
+        yield from client.sync()
+
+    sim.run_process(body())
+    assert sim.run_process(client.read("/a", 0, len(a))) == a
+    assert sim.run_process(client.read("/b", 0, len(b))) == b
