@@ -1,0 +1,45 @@
+"""Static lints and runtime sanitizers for the reproduction.
+
+Two halves:
+
+* **Static lints** (:mod:`repro.analysis.lint` plus the rule modules)
+  catch the silent failure modes of generator-based simulation code —
+  an ``Event``-returning call that is never yielded is a no-op, and
+  wall-clock time or unseeded randomness silently breaks determinism.
+* **Runtime sanitizers** (:mod:`repro.analysis.fsck_lfs`,
+  :mod:`repro.analysis.scrub_raid`) verify on-disk invariants: LFS
+  metadata consistency (the machine-checked analogue of the UNIX
+  ``fsck`` pass Section 3.1 contrasts with LFS roll-forward) and
+  RAID parity cleanliness (scrubbing, a first-class operation in
+  production arrays).
+
+Run ``python -m repro.analysis --help`` for the command-line front end;
+integration tests can finish with
+:func:`repro.testing.assert_fs_consistent` /
+:func:`repro.testing.assert_parity_clean`.
+"""
+
+from repro.analysis.fsck_lfs import FsckReport, fsck
+from repro.analysis.lint import (Finding, Linter, LintRule, all_rules,
+                                 lint_paths, register_rule)
+from repro.analysis.scrub_raid import (ScrubReport, scrub_array, scrub_images,
+                                       scrub_process)
+
+# Importing the rule modules registers the concrete rules.
+from repro.analysis import rules_sim as _rules_sim  # noqa: F401,E402
+from repro.analysis import rules_units as _rules_units  # noqa: F401,E402
+
+__all__ = [
+    "Finding",
+    "FsckReport",
+    "LintRule",
+    "Linter",
+    "ScrubReport",
+    "all_rules",
+    "fsck",
+    "lint_paths",
+    "register_rule",
+    "scrub_array",
+    "scrub_images",
+    "scrub_process",
+]

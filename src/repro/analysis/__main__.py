@@ -1,0 +1,107 @@
+"""Command-line front end: ``python -m repro.analysis <command>``.
+
+Commands (all exit non-zero when they find problems, so they can gate
+CI):
+
+* ``lint PATH...`` — run the static rules over files/directories;
+* ``fsck IMAGE`` — mount a raw LFS volume image and audit it;
+* ``scrub --stripe-unit BYTES IMAGE...`` — parity-check per-disk raw
+  images of a RAID 5 left-symmetric array.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.errors import CorruptFileSystemError, RaidError
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.lint import lint_paths
+
+    findings = lint_paths(args.paths)
+    for finding in findings:
+        print(finding.render())
+    if findings:
+        print(f"{len(findings)} finding(s)")
+        return 1
+    print("clean")
+    return 0
+
+
+def _cmd_fsck(args: argparse.Namespace) -> int:
+    from repro.analysis.fsck_lfs import fsck
+    from repro.lfs.fs import LogStructuredFS
+    from repro.lfs.ondisk import BLOCK_SIZE
+    from repro.sim import Simulator
+    from repro.testing import MemoryDevice
+
+    image = Path(args.image).read_bytes()
+    if not image or len(image) % BLOCK_SIZE:
+        print(f"fsck: {args.image}: size {len(image)} is not a whole "
+              f"number of {BLOCK_SIZE}-byte blocks", file=sys.stderr)
+        return 2
+    sim = Simulator()
+    device = MemoryDevice(sim, len(image), name="fsck-image")
+    device.poke(0, image)
+    fs = LogStructuredFS(sim, device)
+    try:
+        sim.run_process(fs.mount(), name="fsck-mount")
+    except CorruptFileSystemError as exc:
+        print(f"fsck: {args.image}: mount failed: {exc}", file=sys.stderr)
+        return 2
+    report = fsck(fs)
+    print(report.render())
+    return 0 if report.ok else 1
+
+
+def _cmd_scrub(args: argparse.Namespace) -> int:
+    from repro.analysis.scrub_raid import scrub_images
+
+    images = [Path(name).read_bytes() for name in args.images]
+    report = scrub_images(images, args.stripe_unit)
+    print(report.render())
+    return 0 if report.ok else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Static lints and storage sanitizers.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    lint = sub.add_parser("lint", help="run the static lint rules")
+    lint.add_argument("paths", nargs="+",
+                      help="Python files or directories to lint")
+    lint.set_defaults(func=_cmd_lint)
+
+    fsck = sub.add_parser("fsck", help="audit a raw LFS volume image")
+    fsck.add_argument("image", help="raw volume image file")
+    fsck.set_defaults(func=_cmd_fsck)
+
+    scrub = sub.add_parser(
+        "scrub", help="parity-check per-disk RAID 5 images")
+    scrub.add_argument("--stripe-unit", type=int, required=True,
+                       help="stripe unit size in bytes")
+    scrub.add_argument("images", nargs="+",
+                       help="per-disk raw image files, in disk order")
+    scrub.set_defaults(func=_cmd_scrub)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except OSError as exc:
+        print(f"{args.command}: {exc}", file=sys.stderr)
+        return 2
+    except RaidError as exc:
+        print(f"{args.command}: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,222 @@
+"""The lint framework: rule registry, findings, pragma handling.
+
+Rules are small classes registered with :func:`register_rule`.  A rule
+sees the whole *project* first (:meth:`LintRule.prepare`) — which lets
+the simulation rules learn, from the code base itself, which functions
+are simulation processes — and is then asked to :meth:`LintRule.check`
+each source file.
+
+Suppression pragmas, honoured by the framework (not the rules):
+
+* ``# lint: disable=CODE[,CODE...]`` on a finding's line suppresses
+  those codes for that line (``all`` suppresses every code);
+* ``# lint: disable-file=CODE[,CODE...]`` anywhere in a file
+  suppresses those codes for the whole file.
+
+Everything here is stdlib-``ast`` only; no third-party dependency.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, Optional, Type
+
+_LINE_PRAGMA = re.compile(r"#\s*lint:\s*disable=([A-Za-z0-9_*,\s]+|all)")
+_FILE_PRAGMA = re.compile(r"#\s*lint:\s*disable-file=([A-Za-z0-9_*,\s]+|all)")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint hit, pointing at a source location."""
+
+    code: str
+    message: str
+    path: str
+    line: int
+    col: int = 0
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}: {self.code} {self.message}"
+
+
+class SourceFile:
+    """A parsed source file plus its suppression pragmas."""
+
+    def __init__(self, path: str, text: str):
+        self.path = path
+        self.text = text
+        self.lines = text.splitlines()
+        self.tree = ast.parse(text, filename=path)
+        annotate_parents(self.tree)
+        self.file_disabled: set[str] = set()
+        self.line_disabled: dict[int, set[str]] = {}
+        for lineno, line in enumerate(self.lines, start=1):
+            match = _FILE_PRAGMA.search(line)
+            if match:
+                self.file_disabled |= _parse_codes(match.group(1))
+                continue
+            match = _LINE_PRAGMA.search(line)
+            if match:
+                self.line_disabled[lineno] = _parse_codes(match.group(1))
+
+    def suppressed(self, finding: Finding) -> bool:
+        for codes in (self.file_disabled,
+                      self.line_disabled.get(finding.line, ())):
+            if "all" in codes or finding.code in codes:
+                return True
+        return False
+
+
+def _parse_codes(raw: str) -> set[str]:
+    return {code.strip() for code in raw.split(",") if code.strip()}
+
+
+def annotate_parents(tree: ast.AST) -> None:
+    """Attach a ``_lint_parent`` attribute to every node."""
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            child._lint_parent = node  # type: ignore[attr-defined]
+
+
+def parent_of(node: ast.AST) -> Optional[ast.AST]:
+    return getattr(node, "_lint_parent", None)
+
+
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+
+def walk_scope(node: ast.AST) -> Iterator[ast.AST]:
+    """Yield ``node``'s descendants without entering nested scopes."""
+    stack = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop()
+        yield child
+        if not isinstance(child, _SCOPE_NODES):
+            stack.extend(ast.iter_child_nodes(child))
+
+
+def is_generator(func: ast.FunctionDef) -> bool:
+    """True when the function's own body contains a yield."""
+    return any(isinstance(child, (ast.Yield, ast.YieldFrom))
+               for child in walk_scope(func))
+
+
+def iter_functions(tree: ast.AST) -> Iterator[ast.FunctionDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def call_name(call: ast.Call) -> Optional[str]:
+    """The terminal name of a call: ``a.b.c(...)`` -> ``c``."""
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+class Project:
+    """All files under analysis, plus facts rules derive across them."""
+
+    def __init__(self, files: list[SourceFile]):
+        self.files = files
+        #: Names of functions/methods, defined anywhere in the linted
+        #: tree, whose bodies contain a ``yield`` — i.e. the simulation
+        #: processes.  Calling one of these and dropping the result is
+        #: a silent no-op.
+        self.generator_names: set[str] = set()
+        for source in files:
+            for func in iter_functions(source.tree):
+                if is_generator(func):
+                    self.generator_names.add(func.name)
+
+
+class LintRule:
+    """Base class for lint rules.  Subclass and register."""
+
+    code = "XXX000"
+    description = ""
+
+    def prepare(self, project: Project) -> None:
+        """Called once with the whole project before any check()."""
+
+    def check(self, source: SourceFile,
+              project: Project) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, source: SourceFile, node: ast.AST,
+                message: str) -> Finding:
+        return Finding(self.code, message, source.path,
+                       getattr(node, "lineno", 0),
+                       getattr(node, "col_offset", 0))
+
+
+_RULES: list[Type[LintRule]] = []
+
+
+def register_rule(cls: Type[LintRule]) -> Type[LintRule]:
+    """Class decorator adding a rule to the global registry."""
+    _RULES.append(cls)
+    return cls
+
+
+def all_rules() -> list[Type[LintRule]]:
+    return list(_RULES)
+
+
+class Linter:
+    """Runs a set of rules over a set of files."""
+
+    def __init__(self, rules: Optional[Iterable[Type[LintRule]]] = None):
+        self.rules = [cls() for cls in (rules if rules is not None
+                                        else all_rules())]
+
+    def run_sources(self, sources: list[SourceFile]) -> list[Finding]:
+        project = Project(sources)
+        for rule in self.rules:
+            # prepare() collides by name with experiment generators;
+            # here it is the plain hook above.
+            rule.prepare(project)  # lint: disable=SIM001
+        findings: list[Finding] = []
+        for source in sources:
+            for rule in self.rules:
+                for finding in rule.check(source, project):
+                    if not source.suppressed(finding):
+                        findings.append(finding)
+        findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+        return findings
+
+    def run_text(self, text: str, path: str = "<string>") -> list[Finding]:
+        """Lint a single in-memory snippet (used by the rule tests)."""
+        return self.run_sources([SourceFile(path, text)])
+
+    def run_paths(self, paths: Iterable[str]) -> list[Finding]:
+        sources = []
+        for filename in sorted(expand_paths(paths)):
+            text = Path(filename).read_text(encoding="utf-8")
+            sources.append(SourceFile(filename, text))
+        return self.run_sources(sources)
+
+
+def expand_paths(paths: Iterable[str]) -> list[str]:
+    """Resolve files and directories into a list of ``.py`` files."""
+    out: list[str] = []
+    for path in paths:
+        p = Path(path)
+        if p.is_dir():
+            out.extend(str(f) for f in p.rglob("*.py")
+                       if "__pycache__" not in f.parts
+                       and "egg-info" not in "".join(f.parts))
+        elif p.suffix == ".py":
+            out.append(str(p))
+    return out
+
+
+def lint_paths(paths: Iterable[str]) -> list[Finding]:
+    """Convenience front end: lint files/directories with every rule."""
+    return Linter().run_paths(paths)

@@ -1,0 +1,169 @@
+"""Simulation-correctness lint rules (SIM001..SIM003).
+
+The event kernel's contract is easy to violate silently:
+
+* calling a simulation process (a generator function) without
+  ``yield from`` creates a generator object and throws it away — the
+  I/O it models simply never happens;
+* an ``Event``-returning call (``resource.acquire()``,
+  ``sim.timeout()``...) used as a bare statement is never waited on;
+* wall-clock time or the global ``random`` module leaks host
+  non-determinism into simulated time;
+* a bare ``except:`` swallows :class:`repro.errors.SimulationError`
+  (and ``Interrupt``), hiding kernel misuse.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.lint import (Finding, LintRule, Project, SourceFile,
+                                 call_name, is_generator, iter_functions,
+                                 register_rule, walk_scope)
+
+#: Methods that return an Event the caller must wait on.  These come
+#: from the kernel API (Simulator/Resource/Store), so they cannot be
+#: discovered by the generator scan.
+EVENT_RETURNING = {"acquire", "timeout", "all_of", "any_of"}
+
+#: Generator-named calls that are legitimately dropped: spawning a
+#: process is fire-and-forget by design.
+_SPAWN_NAMES = {"process", "run_process"}
+
+#: Method names shared with the builtin containers (``list.append``,
+#: ``set.add``, ...).  A project generator with one of these names
+#: (e.g. ``SegmentWriter.append``) cannot be told apart from the
+#: builtin by name alone, so these are never flagged — the cost of a
+#: purely syntactic analysis.
+_AMBIGUOUS_NAMES = {"append", "add", "update", "extend", "insert", "pop",
+                    "remove", "discard", "clear", "write", "close", "send",
+                    "get", "set", "put"}
+
+
+@register_rule
+class UnyieldedEventCall(LintRule):
+    """SIM001: a simulation-process or Event call whose result is dropped."""
+
+    code = "SIM001"
+    description = ("Event-returning call is never yielded "
+                   "(the modelled work silently does not happen)")
+
+    def check(self, source: SourceFile,
+              project: Project) -> Iterator[Finding]:
+        for func in iter_functions(source.tree):
+            inside_generator = is_generator(func)
+            for node in walk_scope(func):
+                if not isinstance(node, ast.Expr) \
+                        or not isinstance(node.value, ast.Call):
+                    continue
+                name = call_name(node.value)
+                if name is None or name in _SPAWN_NAMES \
+                        or name in _AMBIGUOUS_NAMES:
+                    continue
+                if name in project.generator_names:
+                    how = "yield from" if inside_generator else "run_process"
+                    yield self.finding(
+                        source, node,
+                        f"call to simulation process {name}() is a silent "
+                        f"no-op; consume it with {how}")
+                elif name in EVENT_RETURNING and inside_generator:
+                    yield self.finding(
+                        source, node,
+                        f"{name}() returns an Event that is never yielded")
+
+
+_TIME_CALLS = {"time", "sleep", "monotonic", "perf_counter", "time_ns",
+               "monotonic_ns", "process_time"}
+_DATETIME_CALLS = {"now", "utcnow", "today"}
+#: ``random.Random(seed)`` constructs a seeded, reproducible generator
+#: and is the sanctioned idiom; everything else on the module (or
+#: ``SystemRandom``) is shared/unseeded state.
+_RANDOM_OK = {"Random"}
+
+
+@register_rule
+class WallClockNondeterminism(LintRule):
+    """SIM002: wall-clock time or unseeded randomness in sim code."""
+
+    code = "SIM002"
+    description = ("wall-clock or non-deterministic call "
+                   "(breaks simulated-time reproducibility)")
+
+    def check(self, source: SourceFile,
+              project: Project) -> Iterator[Finding]:
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call) \
+                    or not isinstance(node.func, ast.Attribute):
+                continue
+            attr = node.func.attr
+            value = node.func.value
+            if isinstance(value, ast.Name):
+                if value.id == "time" and attr in _TIME_CALLS:
+                    yield self.finding(
+                        source, node,
+                        f"time.{attr}() reads the wall clock; use the "
+                        "simulator clock (sim.now / sim.timeout)")
+                elif value.id == "random" and attr not in _RANDOM_OK:
+                    yield self.finding(
+                        source, node,
+                        f"random.{attr}() uses the shared unseeded RNG; "
+                        "use a seeded random.Random(seed) instance")
+                elif value.id == "datetime" and attr in _DATETIME_CALLS:
+                    yield self.finding(
+                        source, node,
+                        f"datetime.{attr}() reads the wall clock; "
+                        "simulated time is sim.now")
+            elif isinstance(value, ast.Attribute) \
+                    and value.attr == "datetime" and attr in _DATETIME_CALLS:
+                yield self.finding(
+                    source, node,
+                    f"datetime.datetime.{attr}() reads the wall clock; "
+                    "simulated time is sim.now")
+
+
+_BROAD = {"Exception", "BaseException"}
+
+
+def _handler_is_broad(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True
+    types = handler.type.elts if isinstance(handler.type, ast.Tuple) \
+        else [handler.type]
+    return any(isinstance(t, ast.Name) and t.id in _BROAD for t in types)
+
+
+@register_rule
+class SwallowedSimulationError(LintRule):
+    """SIM003: a broad except that can swallow SimulationError."""
+
+    code = "SIM003"
+    description = ("bare/broad except swallows SimulationError "
+                   "and Interrupt")
+
+    def check(self, source: SourceFile,
+              project: Project) -> Iterator[Finding]:
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not _handler_is_broad(node):
+                continue
+            if handler_reraises_or_uses(node):
+                continue
+            label = "bare except:" if node.type is None else \
+                "broad except swallowing the exception"
+            yield self.finding(
+                source, node,
+                f"{label} — SimulationError/Interrupt disappear here; "
+                "catch specific errors or re-raise")
+
+
+def handler_reraises_or_uses(handler: ast.ExceptHandler) -> bool:
+    """True when the handler re-raises or inspects the exception."""
+    body_nodes = [n for stmt in handler.body for n in ast.walk(stmt)]
+    if any(isinstance(n, ast.Raise) for n in body_nodes):
+        return True
+    if handler.name is not None:
+        return any(isinstance(n, ast.Name) and n.id == handler.name
+                   for n in body_nodes)
+    return False

@@ -1,0 +1,103 @@
+"""Unit-hygiene lint rules (UNIT001, UNIT002).
+
+The paper reports decimal megabytes/second while block devices are
+sized in binary units; :mod:`repro.units` exists so every size or time
+literal names its unit.  These rules catch the two failure modes:
+re-spelling a constant as a magic number, and mixing decimal (KB/MB/GB)
+with binary (KIB/MIB) factors in one expression.
+"""
+
+from __future__ import annotations
+
+# The rule tables below spell the magic values out on purpose.
+# lint: disable-file=UNIT001
+
+import ast
+from typing import Iterator
+
+from repro.analysis.lint import (Finding, LintRule, Project, SourceFile,
+                                 parent_of, register_rule)
+
+#: Literals that always have a named equivalent in repro.units.
+_EXACT = {
+    1000 * 1000: "MB",
+    1000 * 1000 * 1000: "GB",
+    1024 * 1024: "MIB",
+    1024 * 1024 * 1024: "1024 * MIB",
+}
+
+#: Literals flagged only when used as a multiplication/division factor
+#: (``n * 512``, ``x / 1024``): standalone uses (buffer sizes, counts)
+#: are usually not unit conversions.
+_FACTOR_ONLY = {
+    512: "SECTOR_SIZE",
+    1024: "KIB",
+    0.001: "MS",
+    1e-06: "US",
+}
+
+_MULDIV = (ast.Mult, ast.Div, ast.FloorDiv)
+
+
+@register_rule
+class MagicUnitLiteral(LintRule):
+    """UNIT001: a magic size/time literal with a repro.units name."""
+
+    code = "UNIT001"
+    description = "magic size/time literal; use the repro.units constant"
+
+    def check(self, source: SourceFile,
+              project: Project) -> Iterator[Finding]:
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Constant) \
+                    or isinstance(node.value, bool) \
+                    or not isinstance(node.value, (int, float)):
+                continue
+            value = node.value
+            if value in _EXACT:
+                yield self.finding(
+                    source, node,
+                    f"magic literal {value!r}; use repro.units."
+                    f"{_EXACT[value]}")
+            elif value in _FACTOR_ONLY and self._is_factor(node):
+                yield self.finding(
+                    source, node,
+                    f"magic unit factor {value!r}; use repro.units."
+                    f"{_FACTOR_ONLY[value]}")
+
+    @staticmethod
+    def _is_factor(node: ast.AST) -> bool:
+        parent = parent_of(node)
+        return isinstance(parent, ast.BinOp) \
+            and isinstance(parent.op, _MULDIV)
+
+
+_DECIMAL = {"KB", "MB", "GB"}
+_BINARY = {"KIB", "MIB"}
+
+
+@register_rule
+class MixedUnitFamilies(LintRule):
+    """UNIT002: decimal MB and binary MiB factors in one expression."""
+
+    code = "UNIT002"
+    description = "decimal (KB/MB/GB) and binary (KIB/MIB) units mixed"
+
+    def check(self, source: SourceFile,
+              project: Project) -> Iterator[Finding]:
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.BinOp):
+                continue
+            # Only report at the topmost BinOp of an expression tree so
+            # one mixed expression produces one finding.
+            if isinstance(parent_of(node), ast.BinOp):
+                continue
+            names = {n.id for n in ast.walk(node)
+                     if isinstance(n, ast.Name)}
+            decimal = names & _DECIMAL
+            binary = names & _BINARY
+            if decimal and binary:
+                yield self.finding(
+                    source, node,
+                    f"expression mixes decimal ({', '.join(sorted(decimal))})"
+                    f" and binary ({', '.join(sorted(binary))}) units")

@@ -63,6 +63,14 @@ class CorruptFileSystemError(FileSystemError):
     """On-disk structures failed validation during mount or recovery."""
 
 
+class ConsistencyError(ReproError):
+    """A runtime sanitizer (fsck, parity scrub) found an inconsistency.
+
+    Raised by the :mod:`repro.testing` hooks; the message carries the
+    full rendered report so a failing test shows every finding.
+    """
+
+
 class NetworkError(ReproError):
     """Network-layer error."""
 

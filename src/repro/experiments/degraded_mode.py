@@ -15,10 +15,10 @@ import random
 from repro.experiments.base import ExperimentResult
 from repro.server import Raid2Config, Raid2Server
 from repro.sim import Simulator
-from repro.units import KIB, MB
+from repro.units import MB, MIB
 from repro.workloads import random_aligned_offsets, run_request_stream
 
-REQUEST = 1024 * KIB
+REQUEST = MIB
 
 
 def _measure_reads(server, sim, count, seed) -> float:

@@ -12,7 +12,7 @@ from __future__ import annotations
 from repro.experiments.base import ExperimentResult, Series
 from repro.hw import IBM_0661, CougarController, DiskDrive
 from repro.sim import Simulator
-from repro.units import KIB, MB
+from repro.units import KIB, MB, SECTOR_SIZE
 
 PAPER_ANCHORS = {
     "string_plateau_mb_s": 3.0,
@@ -31,7 +31,7 @@ def _rate_with_disks(ndisks: int, ops_per_disk: int) -> float:
         disks.append(disk)
 
     unit = 64 * KIB
-    nsectors = unit // 512
+    nsectors = unit // SECTOR_SIZE
 
     def streamer(disk):
         for op in range(ops_per_disk):

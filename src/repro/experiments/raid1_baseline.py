@@ -12,7 +12,7 @@ from __future__ import annotations
 from repro.experiments.base import ExperimentResult
 from repro.server import Raid1Server, Raid2Config, Raid2Server
 from repro.sim import Simulator
-from repro.units import KIB, MIB
+from repro.units import KIB, MIB, SECTOR_SIZE
 from repro.workloads import run_request_stream
 
 PAPER_ANCHORS = {
@@ -44,7 +44,8 @@ def run(quick: bool = False) -> ExperimentResult:
                        for index in range(count * 4)]
 
     def single_read(offset, nbytes):
-        yield from raid1b.single_disk_read(0, offset // 512, nbytes // 512)
+        yield from raid1b.single_disk_read(
+            0, offset // SECTOR_SIZE, nbytes // SECTOR_SIZE)
 
     single_rate = run_request_stream(sim2, single_read, single_requests,
                                      concurrency=2).mb_per_s

@@ -21,6 +21,7 @@ from repro.hw.specs import (COUGAR_SPEC, SCSI_STRING_SPEC, CougarSpec,
                             ScsiStringSpec)
 from repro.hw.scsi import ScsiString
 from repro.sim import BandwidthChannel, Simulator
+from repro.units import SECTOR_SIZE
 
 
 class CougarController:
@@ -87,7 +88,7 @@ class CougarController:
         """
         string = self.string_of(disk)
         index = self.strings.index(string)
-        nbytes = nsectors * 512
+        nbytes = nsectors * SECTOR_SIZE
         yield from self._dual_string_delay(string)
         self._inflight[index] += 1
         try:

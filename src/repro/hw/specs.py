@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.units import KIB, MB, MIB, MS
+from repro.units import KIB, MB, MIB, MS, SECTOR_SIZE
 
 
 @dataclass(frozen=True)
@@ -65,7 +65,7 @@ class DiskSpec:
 
     @property
     def track_bytes(self) -> int:
-        return self.sectors_per_track * 512
+        return self.sectors_per_track * SECTOR_SIZE
 
     @property
     def cylinder_bytes(self) -> int:

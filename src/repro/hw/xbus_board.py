@@ -39,6 +39,7 @@ from repro.hw.specs import (COUGAR_SPEC, IBM_0661, SCSI_STRING_SPEC,
                             VME_CONTROL_PORT_SPEC, VME_DATA_PORT_SPEC,
                             XBUS_SPEC, CougarSpec, DiskSpec, ScsiStringSpec)
 from repro.hw.vme import Direction, VmePort
+from repro.units import SECTOR_SIZE
 from repro.hw.xbus_memory import XbusMemory
 from repro.sim import Simulator
 
@@ -83,7 +84,7 @@ class XbusDiskPath:
     def read(self, lba: int, nsectors: int):
         """Process: disk -> ... -> XBUS memory; returns the bytes."""
         sim = self.board.sim
-        nbytes = nsectors * 512
+        nbytes = nsectors * SECTOR_SIZE
         legs = [
             sim.process(self.cougar.read(self.disk, lba, nsectors)),
             sim.process(self.port.transfer(nbytes, Direction.READ)),

@@ -15,6 +15,7 @@ from __future__ import annotations
 from typing import Any, Optional, Protocol
 
 from repro.hw.disk import DiskDrive
+from repro.units import SECTOR_SIZE
 
 
 class DiskPath(Protocol):
@@ -47,7 +48,7 @@ class DirectDiskPath:
     def read(self, lba: int, nsectors: int):
         sim = self.disk.sim
         legs = [sim.process(self.disk.read(lba, nsectors))]
-        nbytes = nsectors * 512
+        nbytes = nsectors * SECTOR_SIZE
         for channel in self.extra_channels:
             legs.append(sim.process(channel.transfer(nbytes)))
         values = yield sim.all_of(legs)

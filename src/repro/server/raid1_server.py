@@ -19,7 +19,7 @@ from repro.hw.disk import DiskDrive
 from repro.hw.specs import SEAGATE_WREN_IV, SUN_4_280_RAID1, DiskSpec
 from repro.raid import Raid0Controller
 from repro.sim import Simulator
-from repro.units import KIB
+from repro.units import KIB, SECTOR_SIZE
 
 
 class HostedDiskPath:
@@ -39,7 +39,7 @@ class HostedDiskPath:
 
     def read(self, lba: int, nsectors: int):
         sim = self.disk.sim
-        nbytes = nsectors * 512
+        nbytes = nsectors * SECTOR_SIZE
         legs = [
             sim.process(self.controller.read(self.disk, lba, nsectors)),
             sim.process(self.host.backplane.transfer(nbytes)),

@@ -14,7 +14,7 @@ segment flushes at every possible point.
 
 from __future__ import annotations
 
-from repro.errors import HardwareError
+from repro.errors import ConsistencyError, HardwareError
 from repro.sim import BandwidthChannel, Simulator
 
 
@@ -113,3 +113,27 @@ class CrashingDevice:
 
     def peek(self, offset: int, nbytes: int) -> bytes:
         return self.inner.peek(offset, nbytes)
+
+
+def assert_fs_consistent(fs) -> None:
+    """Checkpoint ``fs`` and fsck it; raise ConsistencyError on findings.
+
+    Intended as the last line of an LFS integration test: flushes the
+    volatile state (so the on-disk image is complete) and then runs the
+    offline checker from :mod:`repro.analysis.fsck_lfs` over it.
+    """
+    from repro.analysis.fsck_lfs import fsck
+
+    fs.sim.run_process(fs.checkpoint(), name="fsck-checkpoint")
+    report = fsck(fs)
+    if not report.ok:
+        raise ConsistencyError(report.render())
+
+
+def assert_parity_clean(controller, max_rows=None) -> None:
+    """Scrub a RAID array; raise ConsistencyError on any mismatched row."""
+    from repro.analysis.scrub_raid import scrub_array
+
+    report = scrub_array(controller, max_rows=max_rows)
+    if not report.ok:
+        raise ConsistencyError(report.render())

@@ -9,6 +9,10 @@ with the published figures.
 
 from __future__ import annotations
 
+# This module *defines* the unit constants, so its literals are the
+# source of truth rather than magic numbers.
+# lint: disable-file=UNIT001
+
 # --- sizes ------------------------------------------------------------
 KB = 1000
 MB = 1000 * 1000

@@ -1,0 +1,191 @@
+"""Tests for the RAID parity scrubber."""
+
+import dataclasses
+import random
+
+import pytest
+
+from repro.analysis import scrub_array, scrub_images, scrub_process
+from repro.errors import ConsistencyError, RaidError
+from repro.hw import IBM_0661, DiskDrive
+from repro.hw.parity import xor_blocks
+from repro.raid import (DirectDiskPath, Raid0Controller, Raid1Controller,
+                        Raid3Controller, Raid5Controller)
+from repro.raid.layout import Raid5Layout
+from repro.sim import Simulator
+from repro.testing import assert_parity_clean
+from repro.units import KIB, MIB
+
+SMALL_DISK = dataclasses.replace(IBM_0661, capacity_bytes=1 * MIB)
+UNIT = 16 * KIB
+
+
+def make_array(sim, ndisks):
+    return [DirectDiskPath(DiskDrive(sim, SMALL_DISK, name=f"d{i}"))
+            for i in range(ndisks)]
+
+
+def pattern(nbytes, seed=0):
+    return random.Random(seed).randbytes(nbytes)
+
+
+def make_raid5(sim, ndisks=5):
+    paths = make_array(sim, ndisks)
+    ctrl = Raid5Controller(sim, paths, UNIT)
+
+    def body():
+        yield from ctrl.write(0, pattern(20 * UNIT))
+
+    sim.run_process(body())
+    return paths, ctrl
+
+
+def flip_byte(disk, lba):
+    block = bytearray(disk.peek(lba, 1))
+    block[0] ^= 0xFF
+    disk.poke(lba, bytes(block))
+
+
+def test_raid5_clean_array_scrubs_clean():
+    sim = Simulator()
+    _paths, ctrl = make_raid5(sim)
+    report = scrub_array(ctrl)
+    assert report.ok
+    assert report.rows_checked == ctrl.layout.rows
+    assert report.degraded_rows == []
+
+
+def test_raid5_flipped_parity_block_is_caught():
+    sim = Simulator()
+    paths, ctrl = make_raid5(sim)
+    parity_disk = ctrl.layout.parity_disk(3)
+    flip_byte(paths[parity_disk].disk, ctrl.layout.row_lba(3))
+    report = scrub_array(ctrl)
+    assert not report.ok
+    assert report.mismatched_rows == [3]
+
+
+def test_raid5_flipped_data_block_is_caught():
+    sim = Simulator()
+    paths, ctrl = make_raid5(sim)
+    data_disk = ctrl.layout.data_disk(0, 1)
+    flip_byte(paths[data_disk].disk, ctrl.layout.row_lba(0))
+    report = scrub_array(ctrl)
+    assert report.mismatched_rows == [0]
+
+
+def test_raid5_repair_rewrites_parity():
+    sim = Simulator()
+    paths, ctrl = make_raid5(sim)
+    parity_disk = ctrl.layout.parity_disk(0)
+    flip_byte(paths[parity_disk].disk, ctrl.layout.row_lba(0))
+    report = scrub_array(ctrl, repair=True)
+    assert report.repaired_rows == [0]
+    assert scrub_array(ctrl).ok
+
+
+def test_raid5_degraded_rows_are_skipped_not_failed():
+    sim = Simulator()
+    paths, ctrl = make_raid5(sim)
+    paths[2].disk.fail()
+    report = scrub_array(ctrl)
+    assert report.ok  # nothing checkable mismatched
+    # Every row involves all five disks, so every row is degraded.
+    assert len(report.degraded_rows) == ctrl.layout.rows
+    assert report.rows_checked == 0
+
+
+def test_raid3_scrub():
+    sim = Simulator()
+    paths = make_array(sim, 4)
+    ctrl = Raid3Controller(sim, paths)
+
+    def body():
+        yield from ctrl.write(0, pattern(30 * KIB))
+
+    sim.run_process(body())
+    assert scrub_array(ctrl, max_rows=64).ok
+    flip_byte(paths[ctrl.layout.parity_disk(0)].disk, 0)
+    report = scrub_array(ctrl, max_rows=64)
+    assert report.mismatched_rows == [0]
+
+
+def test_raid1_mirror_scrub():
+    sim = Simulator()
+    paths = make_array(sim, 4)
+    ctrl = Raid1Controller(sim, paths, UNIT)
+
+    def body():
+        yield from ctrl.write(0, pattern(8 * UNIT))
+
+    sim.run_process(body())
+    assert scrub_array(ctrl).ok
+    # Diverge one mirror copy.
+    flip_byte(paths[ctrl.layout.mirror_of(0)].disk, 0)
+    report = scrub_array(ctrl)
+    assert report.mismatched_rows == [0]
+    # Repair copies the primary back over the mirror.
+    scrub_array(ctrl, repair=True)
+    assert scrub_array(ctrl).ok
+
+
+def test_raid0_has_nothing_to_scrub():
+    sim = Simulator()
+    ctrl = Raid0Controller(sim, make_array(sim, 4), UNIT)
+    with pytest.raises(RaidError):
+        scrub_array(ctrl)
+
+
+def test_timed_scrub_process():
+    sim = Simulator()
+    paths, ctrl = make_raid5(sim)
+    before = sim.now
+    report = sim.run_process(scrub_process(ctrl, max_rows=8))
+    assert report.ok
+    assert report.rows_checked == 8
+    assert sim.now > before  # it pays simulated I/O time
+    flip_byte(paths[ctrl.layout.parity_disk(1)].disk, ctrl.layout.row_lba(1))
+    report = sim.run_process(scrub_process(ctrl, max_rows=8))
+    assert report.mismatched_rows == [1]
+
+
+def test_assert_parity_clean_hook():
+    sim = Simulator()
+    paths, ctrl = make_raid5(sim)
+    assert_parity_clean(ctrl)
+    flip_byte(paths[ctrl.layout.parity_disk(2)].disk, ctrl.layout.row_lba(2))
+    with pytest.raises(ConsistencyError) as excinfo:
+        assert_parity_clean(ctrl)
+    assert "row 2" in str(excinfo.value)
+
+
+def test_scrub_images_and_cli(tmp_path):
+    from repro.analysis.__main__ import main
+
+    layout = Raid5Layout(4, UNIT, 256 * KIB)
+    rng = random.Random(7)
+    disks = [bytearray(256 * KIB) for _ in range(4)]
+    for row in range(layout.rows):
+        at = row * UNIT
+        data = [rng.randbytes(UNIT) for _ in range(3)]
+        for k, block in enumerate(data):
+            disks[layout.data_disk(row, k)][at:at + UNIT] = block
+        disks[layout.parity_disk(row)][at:at + UNIT] = xor_blocks(data)
+
+    report = scrub_images([bytes(d) for d in disks], UNIT)
+    assert report.ok and report.rows_checked == layout.rows
+
+    disks[0][5] ^= 1
+    report = scrub_images([bytes(d) for d in disks], UNIT)
+    assert report.mismatched_rows == [0]
+
+    names = []
+    for index, disk in enumerate(disks):
+        path = tmp_path / f"disk{index}.img"
+        path.write_bytes(bytes(disk))
+        names.append(str(path))
+    assert main(["scrub", "--stripe-unit", str(UNIT)] + names) == 1
+    disks[0][5] ^= 1
+    names[0] = str(tmp_path / "fixed.img")
+    (tmp_path / "fixed.img").write_bytes(bytes(disks[0]))
+    assert main(["scrub", "--stripe-unit", str(UNIT)] + names) == 0
