@@ -1,0 +1,142 @@
+"""Record kernel-benchmark numbers to ``BENCH_kernel.json``.
+
+Usage::
+
+    python benchmarks/record.py                      # full suite -> BENCH_kernel.json
+    python benchmarks/record.py --quick              # CI-sized suite
+    python benchmarks/record.py --baseline old.json  # carry old numbers
+                                                     # forward as "baseline"
+    python benchmarks/record.py --check BENCH_kernel.json
+                                                     # exit 1 on >30% dispatch
+                                                     # regression
+
+The output JSON has two sections: ``baseline`` (the numbers measured
+before the kernel fast path landed, carried forward verbatim so the
+perf trajectory stays visible) and ``current`` (this run).  ``speedup``
+maps each benchmark to current/baseline rate.  CI's ``bench-smoke``
+job runs ``--quick --check`` against the committed file and fails when
+the event-dispatch rate drops more than ``--tolerance`` (default 30%)
+below the committed ``current`` number.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from bench_kernel import run_suite  # noqa: E402
+
+#: The rate key CI guards, per benchmark name.
+RATE_KEYS = {
+    "event_dispatch": "events_per_s",
+    "timeout_churn": "timeouts_per_s",
+    "channel_transfer": "transfers_per_s",
+    "parity_throughput": "mb_per_s",
+}
+
+
+def _rates(results: dict) -> dict:
+    out = {}
+    for name, key in RATE_KEYS.items():
+        if name in results:
+            out[name] = results[name][key]
+    return out
+
+
+def measure(quick: bool, experiments: bool = True) -> dict:
+    results = run_suite(quick=quick, experiments=experiments)
+    return {
+        "quick": quick,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "results": results,
+    }
+
+
+def check(current: dict, committed_path: Path, tolerance: float) -> int:
+    """Compare the dispatch rate against the committed file; 0 = ok."""
+    committed = json.loads(committed_path.read_text())
+    reference = committed["current"]["results"]["event_dispatch"]["events_per_s"]
+    measured = current["results"]["event_dispatch"]["events_per_s"]
+    floor = reference * (1.0 - tolerance)
+    status = "ok" if measured >= floor else "REGRESSION"
+    print(f"event_dispatch: measured {measured:,.0f}/s vs committed "
+          f"{reference:,.0f}/s (floor {floor:,.0f}/s at "
+          f"-{tolerance:.0%}): {status}")
+    return 0 if measured >= floor else 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-sized workloads (~seconds, not minutes)")
+    parser.add_argument("--no-experiments", action="store_true",
+                        help="skip the full-experiment wall-clock timings")
+    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_kernel.json"),
+                        help="output path (default: repo BENCH_kernel.json)")
+    parser.add_argument("--baseline", default=None,
+                        help="JSON file whose measurements become the "
+                             "'baseline' section of the output")
+    parser.add_argument("--check", default=None,
+                        help="committed BENCH_kernel.json to compare the "
+                             "event-dispatch rate against")
+    parser.add_argument("--tolerance", type=float, default=0.30,
+                        help="allowed fractional dispatch-rate regression "
+                             "for --check (default 0.30)")
+    args = parser.parse_args(argv)
+
+    current = measure(args.quick, experiments=not args.no_experiments)
+    document = {"schema": 1, "current": current}
+
+    if args.baseline:
+        baseline = json.loads(Path(args.baseline).read_text())
+        # Accept either a bare measurement or a prior document.
+        if "current" in baseline and "results" in baseline.get("current", {}):
+            document["baseline"] = baseline["current"]
+        elif "baseline" in baseline:
+            document["baseline"] = baseline["baseline"]
+        else:
+            document["baseline"] = baseline
+        base_rates = _rates(document["baseline"]["results"])
+        cur_rates = _rates(current["results"])
+        document["speedup"] = {
+            name: round(cur_rates[name] / base_rates[name], 3)
+            for name in cur_rates if base_rates.get(name)
+        }
+        for exp in ("fig5_quick_wallclock", "fig8_quick_wallclock"):
+            base_exp = document["baseline"]["results"].get(exp)
+            cur_exp = current["results"].get(exp)
+            if base_exp and cur_exp:
+                document["speedup"][exp] = round(
+                    base_exp["seconds"] / cur_exp["seconds"], 3)
+
+    out_path = Path(args.out)
+    out_path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out_path}")
+    for name, rate in _rates(current["results"]).items():
+        line = f"  {name:<18} : {rate:14,.1f}"
+        if "speedup" in document and name in document["speedup"]:
+            line += f"   ({document['speedup'][name]:.2f}x vs baseline)"
+        print(line)
+    exp = current["results"].get("fig5_quick_wallclock")
+    if exp:
+        line = f"  {'fig5 quick':<18} : {exp['seconds']:12.2f} s"
+        if "speedup" in document and "fig5_quick_wallclock" in document["speedup"]:
+            line += (f"   ({document['speedup']['fig5_quick_wallclock']:.2f}x "
+                     "vs baseline)")
+        print(line)
+
+    if args.check:
+        return check(current, Path(args.check), args.tolerance)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,4 +1,4 @@
-"""Simulation-correctness lint rules (SIM001..SIM003).
+"""Simulation-correctness lint rules (SIM001..SIM004).
 
 The event kernel's contract is easy to violate silently:
 
@@ -10,7 +10,10 @@ The event kernel's contract is easy to violate silently:
 * wall-clock time or the global ``random`` module leaks host
   non-determinism into simulated time;
 * a bare ``except:`` swallows :class:`repro.errors.SimulationError`
-  (and ``Interrupt``), hiding kernel misuse.
+  (and ``Interrupt``), hiding kernel misuse;
+* a stray ``bytes(...)``/slice copy on the data path silently undoes
+  the zero-copy discipline (payloads are threaded as ``memoryview``
+  slices and copied only at the durability boundary).
 """
 
 from __future__ import annotations
@@ -167,3 +170,98 @@ def handler_reraises_or_uses(handler: ast.ExceptHandler) -> bool:
         return any(isinstance(n, ast.Name) and n.id == handler.name
                    for n in body_nodes)
     return False
+
+
+# ---------------------------------------------------------------------------
+# SIM004 — zero-copy discipline on the data path
+# ---------------------------------------------------------------------------
+
+#: Directories whose payload-carrying code is held to the zero-copy
+#: discipline.  Anything outside these trees may copy freely.
+_HOT_PATH_DIRS = {"hw", "raid", "lfs"}
+
+#: Parameter annotations naming copy-on-slice buffer types.
+_BUFFER_ANNOTATIONS = {"bytes", "bytearray"}
+
+
+def _in_hot_path(path: str) -> bool:
+    parts = path.replace("\\", "/").split("/")
+    return any(part in _HOT_PATH_DIRS for part in parts)
+
+
+def _buffer_params(func: ast.FunctionDef) -> set[str]:
+    """Names of parameters annotated ``bytes``/``bytearray``."""
+    args = func.args
+    every = (args.posonlyargs + args.args + args.kwonlyargs
+             + [a for a in (args.vararg, args.kwarg) if a is not None])
+    names = set()
+    for arg in every:
+        ann = arg.annotation
+        if isinstance(ann, ast.Name) and ann.id in _BUFFER_ANNOTATIONS:
+            names.add(arg.arg)
+    return names
+
+
+def _is_constant_name(node: ast.AST) -> bool:
+    """``BLOCK_SIZE``-style names: ALL_CAPS means a size constant, so
+    ``bytes(BLOCK_SIZE)`` builds zeros rather than copying a buffer."""
+    return isinstance(node, ast.Name) and node.id.isupper()
+
+
+@register_rule
+class DataPathCopy(LintRule):
+    """SIM004: a buffer copy inside the hw/raid/lfs data path."""
+
+    code = "SIM004"
+    description = ("bytes()/slice copy on the zero-copy data path "
+                   "(thread memoryview slices; copy only at the "
+                   "durability boundary)")
+
+    def check(self, source: SourceFile,
+              project: Project) -> Iterator[Finding]:
+        if not _in_hot_path(source.path):
+            return
+        yield from self._check_bytes_calls(source)
+        yield from self._check_param_slices(source)
+
+    def _check_bytes_calls(self, source: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call) \
+                    or not isinstance(node.func, ast.Name) \
+                    or node.func.id != "bytes" \
+                    or len(node.args) != 1 or node.keywords:
+                continue
+            arg = node.args[0]
+            if isinstance(arg, ast.Name) and not _is_constant_name(arg):
+                yield self.finding(
+                    source, node,
+                    f"bytes({arg.id}) copies the whole buffer; pass the "
+                    "buffer (or a memoryview of it) through unchanged")
+            elif isinstance(arg, ast.Subscript) \
+                    and isinstance(arg.slice, ast.Slice):
+                yield self.finding(
+                    source, node,
+                    "bytes(buf[a:b]) materialises a copy; keep the "
+                    "memoryview slice (copy only at the durability "
+                    "boundary)")
+
+    def _check_param_slices(self, source: SourceFile) -> Iterator[Finding]:
+        # Only simulation processes (generators) are held to this: the
+        # timed data path is made of processes, while plain helpers
+        # (metadata codecs parsing 4 KB blocks) may slice freely.
+        for func in iter_functions(source.tree):
+            if not is_generator(func):
+                continue
+            buffers = _buffer_params(func)
+            if not buffers:
+                continue
+            for node in walk_scope(func):
+                if isinstance(node, ast.Subscript) \
+                        and isinstance(node.slice, ast.Slice) \
+                        and isinstance(node.value, ast.Name) \
+                        and node.value.id in buffers:
+                    yield self.finding(
+                        source, node,
+                        f"slicing bytes parameter {node.value.id!r} "
+                        "copies; take memoryview("
+                        f"{node.value.id}) once and slice that")

@@ -184,7 +184,9 @@ class DiskDrive:
         view = memoryview(data)
         store = self._store
         for index in range(nsectors):
-            chunk = bytes(view[index * SECTOR_SIZE:(index + 1) * SECTOR_SIZE])
+            # The durability boundary: bytes become stable here.
+            chunk = bytes(  # lint: disable=SIM004
+                view[index * SECTOR_SIZE:(index + 1) * SECTOR_SIZE])
             store[lba + index] = chunk
 
     def _check_extent(self, lba: int, nsectors: int) -> None:

@@ -10,7 +10,7 @@ result written, at the port rate.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Iterable, Sequence, Union
 
 import numpy as np
 
@@ -18,19 +18,42 @@ from repro.errors import HardwareError
 from repro.hw.specs import XBUS_SPEC, XbusSpec
 from repro.sim import BandwidthChannel, Simulator
 
+#: Anything the parity engine can stream: the zero-copy data path hands
+#: ``memoryview`` slices around, so blocks need not be ``bytes``.
+BlockLike = Union[bytes, bytearray, memoryview]
 
-def xor_blocks(blocks: Sequence[bytes]) -> bytes:
-    """Pure XOR of equal-length byte blocks (no simulated time)."""
+
+def _as_u8(block: BlockLike) -> np.ndarray:
+    """View ``block`` as a uint8 array without copying when possible."""
+    if isinstance(block, memoryview) and not block.c_contiguous:
+        # np.frombuffer needs contiguous memory.
+        block = bytes(block)  # lint: disable=SIM004
+    return np.frombuffer(block, dtype=np.uint8)
+
+
+def xor_blocks(blocks: Sequence[BlockLike]) -> bytes:
+    """Pure XOR of equal-length byte blocks (no simulated time).
+
+    Accepts ``bytes``, ``bytearray`` or ``memoryview`` blocks.  One
+    output buffer accumulates each block in place — measured faster
+    than every vectorized alternative tried (copying the inputs into a
+    fresh 2-D array costs more than the single ``reduce`` saves, and
+    even a zero-copy strided 2-D view of adjacent blocks reduces
+    slower than the in-place loop streams).
+    """
     if not blocks:
         raise HardwareError("xor of zero blocks")
     length = len(blocks[0])
-    for block in blocks:
+    for index, block in enumerate(blocks):
         if len(block) != length:
             raise HardwareError(
-                f"xor blocks differ in length: {len(block)} != {length}")
-    result = np.frombuffer(blocks[0], dtype=np.uint8).copy()
+                f"xor block {index} differs in length: "
+                f"{len(block)} != {length}")
+    if len(blocks) == 1:
+        return bytes(blocks[0])
+    result = _as_u8(blocks[0]).copy()
     for block in blocks[1:]:
-        result ^= np.frombuffer(block, dtype=np.uint8)
+        result ^= _as_u8(block)
     return result.tobytes()
 
 

@@ -23,6 +23,9 @@ from repro.sim import BandwidthChannel, Simulator
 class XbusMemory:
     """Interleaved buffer memory on the XBUS board."""
 
+    __slots__ = ("sim", "spec", "name", "channel", "bank_bytes_moved",
+                 "_next_bank", "_allocated", "allocation_high_water")
+
     def __init__(self, sim: Simulator, spec: XbusSpec = XBUS_SPEC,
                  name: str = "xmem"):
         self.sim = sim
@@ -48,13 +51,19 @@ class XbusMemory:
         if nbytes < 0:
             raise HardwareError(f"negative access size: {nbytes}")
         # Interleaving spreads the bytes across the banks; keep per-bank
-        # counters for reporting.
+        # counters for reporting.  Every bank takes the even share; the
+        # remainder lands one byte per bank starting at the rotation
+        # point — same totals as walking all banks, fewer modulo ops.
         banks = self.spec.memory_banks
+        counters = self.bank_bytes_moved
         share, remainder = divmod(nbytes, banks)
-        for index in range(banks):
-            bank = (self._next_bank + index) % banks
-            self.bank_bytes_moved[bank] += share + (1 if index < remainder else 0)
-        self._next_bank = (self._next_bank + 1) % banks
+        if share:
+            for bank in range(banks):
+                counters[bank] += share
+        base = self._next_bank
+        for index in range(remainder):
+            counters[(base + index) % banks] += 1
+        self._next_bank = (base + 1) % banks
         yield from self.channel.transfer(nbytes)
 
     # ------------------------------------------------------------------

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterator, Optional
+from typing import Iterator, Optional, Union
 
 from repro.errors import (CorruptFileSystemError, DirectoryNotEmptyFsError,
                           FileExistsFsError, FileNotFoundFsError,
@@ -457,16 +457,17 @@ class LogStructuredFS:
         end = offset + len(data)
         first = offset // BLOCK_SIZE
         last = (end - 1) // BLOCK_SIZE if data else first - 1
+        view = memoryview(data)
         for bidx in range(first, last + 1):
             block_start = bidx * BLOCK_SIZE
             lo = max(offset, block_start)
             hi = min(end, block_start + BLOCK_SIZE)
-            piece = data[lo - offset:hi - offset]
+            piece: Union[memoryview, bytearray] = view[lo - offset:hi - offset]
             if hi - lo < BLOCK_SIZE:
                 old = yield from self._read_block(inode, bidx)
                 merged = bytearray(old)
                 merged[lo - block_start:hi - block_start] = piece
-                piece = bytes(merged)
+                piece = merged
             addr = yield from self.writer.append(
                 BlockId(BlockKind.DATA, inode.ino, bidx), piece)
             yield from self._set_addr(inode, bidx, addr)
@@ -552,14 +553,20 @@ class LogStructuredFS:
             assembled[slot * BLOCK_SIZE:(slot + count) * BLOCK_SIZE] = data
 
         # Park the blocks beyond the request in the prefetch buffers.
+        # memoryview slices keep each copy single (bytes-of-slice on a
+        # bytearray would slice-copy first and bytes-copy second).
+        whole = memoryview(assembled)
         for bidx in range(last + 1, fetch_last + 1):
             at = (bidx - first) * BLOCK_SIZE
-            self._stash_readahead(inode.ino, bidx,
-                                  bytes(assembled[at:at + BLOCK_SIZE]))
+            self._stash_readahead(
+                inode.ino, bidx,
+                bytes(whole[at:at + BLOCK_SIZE]))  # lint: disable=SIM004
 
         start = offset - first * BLOCK_SIZE
         self.bytes_read += nbytes
-        return bytes(assembled[start:start + nbytes])
+        # The caller owns the result: one copy out of the assembly
+        # buffer is the API boundary.
+        return bytes(whole[start:start + nbytes])  # lint: disable=SIM004
 
     def _stash_readahead(self, ino: int, bidx: int, payload: bytes) -> None:
         cap = max(2 * self.spec.readahead_blocks, 8)
@@ -615,7 +622,10 @@ class LogStructuredFS:
                 addr = yield from self._get_addr(inode, bidx)
                 if addr != NULL_ADDR:
                     old = yield from self._read_block(inode, bidx)
-                    cleared = old[:cut] + bytes(BLOCK_SIZE - cut)
+                    # ``old`` may be a pending memoryview payload, which
+                    # does not support ``+`` — copy the kept prefix.
+                    cleared = (bytes(old[:cut])  # lint: disable=SIM004
+                               + bytes(BLOCK_SIZE - cut))
                     new_addr = yield from self.writer.append(
                         BlockId(BlockKind.DATA, inode.ino, bidx), cleared)
                     yield from self._set_addr(inode, bidx, new_addr)

@@ -223,6 +223,18 @@ def payload_checksum(payload: bytes) -> int:
     return _checksum(payload)
 
 
+def payload_checksum_parts(parts) -> int:
+    """Checksum of concatenated ``parts`` without materializing the join.
+
+    crc32 chains, so this equals ``payload_checksum(b"".join(parts))``;
+    the segment writer uses it to checksum pending block views in place.
+    """
+    crc = 0
+    for part in parts:
+        crc = zlib.crc32(part, crc)
+    return crc & 0xFFFFFFFF
+
+
 @dataclass(frozen=True)
 class FragmentSummary:
     """The commit record of one log flush (fragment).

@@ -26,7 +26,7 @@ from typing import Callable, Optional
 from repro.errors import NoSpaceFsError
 from repro.lfs.ondisk import (BLOCK_SIZE, MAX_FRAGMENT_PAYLOAD, BlockId,
                               FragmentSummary, SegmentState,
-                              payload_checksum)
+                              payload_checksum_parts)
 
 
 class SegmentWriter:
@@ -129,7 +129,10 @@ class SegmentWriter:
             raise NoSpaceFsError(
                 f"payload of {len(payload)} bytes exceeds the block size")
         if len(payload) < BLOCK_SIZE:
-            payload = payload + bytes(BLOCK_SIZE - len(payload))
+            # Short payloads (metadata, file tails) are padded into a
+            # fresh block; full blocks pass through as zero-copy views.
+            payload = (bytes(payload)  # lint: disable=SIM004
+                       + bytes(BLOCK_SIZE - len(payload)))
 
         # Replace in place if this identity is already pending.
         position = self._pending_index.get(block_id)
@@ -179,21 +182,25 @@ class SegmentWriter:
         segment = self.current_segment
         assert segment is not None
         base = self.segment_base(segment)
-        payload = b"".join(data for _id, data in self._pending)
+        # Checksum the pending views in place and join summary + payload
+        # in one pass: the only assembly copy on the flush path (the
+        # device slices views of this buffer from here down).
+        parts = [data for _id, data in self._pending]
+        payload_bytes = sum(len(part) for part in parts)
         summary = FragmentSummary(
             seq=self.next_fragment_seq, segment=segment,
             entries=tuple(block_id for block_id, _data in self._pending),
-            payload_crc=payload_checksum(payload))
+            payload_crc=payload_checksum_parts(parts))
 
         yield from self.device.write(
             (base + self._fragment_start) * BLOCK_SIZE,
-            summary.encode() + payload)
+            b"".join([summary.encode(), *parts]))
 
         entry = self.usage[segment]
         entry.last_seq = self.next_fragment_seq
         self.next_fragment_seq += 1
         self.fragments_flushed += 1
-        self.bytes_flushed += len(payload) + BLOCK_SIZE
+        self.bytes_flushed += payload_bytes + BLOCK_SIZE
 
         self._pending.clear()
         self._pending_index.clear()

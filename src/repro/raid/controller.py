@@ -28,6 +28,8 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
+import numpy as np
+
 from repro.errors import DiskFailedError, RaidError, UnrecoverableArrayError
 from repro.hw.parity import xor_blocks
 from repro.raid.layout import (Piece, Raid0Layout, Raid1Layout, Raid3Layout,
@@ -133,10 +135,11 @@ class Raid0Controller(_BaseController):
     def write(self, offset: int, data: bytes):
         """Process: write a logical range."""
         pieces = self.layout.map_data(offset, len(data))
+        view = memoryview(data)  # pieces are views; disks copy at poke
         procs = []
         for piece in pieces:
             start = piece.logical_offset - offset
-            payload = data[start:start + piece.nbytes]
+            payload = view[start:start + piece.nbytes]
             procs.append(self.sim.process(
                 self.paths[piece.disk].write(piece.lba, payload)))
         yield self.sim.all_of(procs)
@@ -176,10 +179,11 @@ class Raid1Controller(_BaseController):
     def write(self, offset: int, data: bytes):
         """Process: write both copies of every piece in parallel."""
         pieces = self.layout.map_data(offset, len(data))
+        view = memoryview(data)  # pieces are views; disks copy at poke
         procs = []
         for piece in pieces:
             start = piece.logical_offset - offset
-            payload = data[start:start + piece.nbytes]
+            payload = view[start:start + piece.nbytes]
             for disk in (piece.disk, self._layout1.mirror_of(piece.disk)):
                 if self.paths[disk].disk.failed:
                     continue
@@ -305,6 +309,7 @@ class Raid5Controller(_BaseController):
     def write(self, offset: int, data: bytes):
         """Process: write a logical range with parity maintenance."""
         pieces = self.layout.map_data(offset, len(data))
+        data = memoryview(data)  # sliced (never copied) on the way down
         by_row: dict[int, list[Piece]] = {}
         for piece in pieces:
             by_row.setdefault(piece.row, []).append(piece)
@@ -316,7 +321,8 @@ class Raid5Controller(_BaseController):
         yield self.sim.all_of(procs)
         return None
 
-    def _payload_of(self, piece: Piece, offset: int, data: bytes) -> bytes:
+    def _payload_of(self, piece: Piece, offset: int,
+                    data: memoryview) -> memoryview:
         start = piece.logical_offset - offset
         return data[start:start + piece.nbytes]
 
@@ -443,7 +449,7 @@ class Raid5Controller(_BaseController):
             delta = bytearray(hi - lo)
             at = piece.unit_offset - lo
             delta[at:at + piece.nbytes] = xor_blocks([old, new])
-            deltas.append(bytes(delta))
+            deltas.append(delta)
 
         data_writes = [self.sim.process(
             self.paths[piece.disk].write(
@@ -502,7 +508,7 @@ class Raid5Controller(_BaseController):
                 payload = self._payload_of(piece, offset, data)
                 images[k][piece.unit_offset:piece.unit_offset
                           + piece.nbytes] = payload
-        final = [bytes(image) for image in images]
+        final = images  # disks and parity engine take bytearrays as-is
 
         # Partially-covered units rewrite their new extents now that
         # their old contents have been captured.
@@ -531,7 +537,7 @@ class Raid5Controller(_BaseController):
         lba = self.layout.row_lba(row)
         nsectors = self.layout.unit_sectors
 
-        units: list[bytes] = []
+        units: list[bytes] = []  # old images, kept to skip unchanged units
         for k in range(self.layout.data_units_per_row):
             disk = layout.data_disk(row, k)
             if self._unavailable(disk, row):
@@ -547,7 +553,7 @@ class Raid5Controller(_BaseController):
             payload = self._payload_of(piece, offset, data)
             images[k][piece.unit_offset:piece.unit_offset + piece.nbytes] = \
                 payload
-        final = [bytes(image) for image in images]
+        final = images  # compared/written as-is; disks copy at poke
         parity_block = yield from self.parity.compute(final)
 
         procs = []
@@ -668,29 +674,29 @@ class Raid3Controller(_BaseController):
 
     @staticmethod
     def _interleave(buffers: list[bytes]) -> bytes:
-        """Merge per-disk buffers back into logical sector order."""
+        """Merge per-disk buffers back into logical sector order.
+
+        Vectorized: stacking per-disk (nrows, sector) planes along a
+        middle axis yields row-major (row, disk, sector) order, which is
+        exactly the logical byte order.
+        """
         nrows = len(buffers[0]) // SECTOR_SIZE
-        out = bytearray(nrows * len(buffers) * SECTOR_SIZE)
-        for disk_index, buffer in enumerate(buffers):
-            for row in range(nrows):
-                src = row * SECTOR_SIZE
-                dst = (row * len(buffers) + disk_index) * SECTOR_SIZE
-                out[dst:dst + SECTOR_SIZE] = buffer[src:src + SECTOR_SIZE]
-        return bytes(out)
+        planes = [np.frombuffer(buffer, dtype=np.uint8).reshape(
+            nrows, SECTOR_SIZE) for buffer in buffers]
+        return np.stack(planes, axis=1).tobytes()
 
     @staticmethod
     def _deinterleave(data: bytes, ndisks: int) -> list[bytes]:
         """Split logical sector order into per-disk buffers."""
+        view = memoryview(data)
+        if not view.c_contiguous:  # pragma: no cover - defensive
+            view = memoryview(bytes(view))  # lint: disable=SIM004
         nsectors = len(data) // SECTOR_SIZE
         nrows = nsectors // ndisks
-        buffers = [bytearray(nrows * SECTOR_SIZE) for _ in range(ndisks)]
-        for sector in range(nsectors):
-            disk_index = sector % ndisks
-            row = sector // ndisks
-            src = sector * SECTOR_SIZE
-            buffers[disk_index][row * SECTOR_SIZE:(row + 1) * SECTOR_SIZE] = \
-                data[src:src + SECTOR_SIZE]
-        return [bytes(buffer) for buffer in buffers]
+        grid = np.frombuffer(view, dtype=np.uint8).reshape(
+            nrows, ndisks, SECTOR_SIZE)
+        return [grid[:, disk_index, :].tobytes()
+                for disk_index in range(ndisks)]
 
     def read(self, offset: int, nbytes: int):
         """Process: read a logical range (whole rows, one I/O at a time)."""
@@ -720,7 +726,7 @@ class Raid3Controller(_BaseController):
                 old_buffers = yield from self._read_rows(first, last)
                 image = bytearray(self._interleave(old_buffers))
                 image[start:start + len(data)] = data
-                logical = bytes(image)
+                logical = image  # deinterleave reads it in place
             ndisks = self.layout.data_units_per_row
             buffers = self._deinterleave(logical, ndisks)
             parity = yield from self.parity.compute(buffers)

@@ -28,6 +28,10 @@ class BandwidthChannel:
         moves (bus arbitration, command decode, packet setup...).
     """
 
+    __slots__ = ("sim", "rate_mb_s", "per_transfer_overhead", "name",
+                 "_lock", "_rate_bytes", "bytes_moved", "busy_time",
+                 "transfer_count")
+
     def __init__(self, sim: Simulator, rate_mb_s: float,
                  per_transfer_overhead: float = 0.0, name: str = ""):
         if rate_mb_s <= 0:
@@ -36,6 +40,7 @@ class BandwidthChannel:
             raise SimulationError("overhead must be non-negative")
         self.sim = sim
         self.rate_mb_s = rate_mb_s
+        self._rate_bytes = rate_mb_s * MB
         self.per_transfer_overhead = per_transfer_overhead
         self.name = name
         self._lock = Resource(sim, capacity=1, name=f"{name}.lock")
@@ -47,13 +52,17 @@ class BandwidthChannel:
         """Service time for a transfer of ``nbytes`` (excluding queueing)."""
         if nbytes < 0:
             raise SimulationError(f"negative transfer size: {nbytes}")
-        return self.per_transfer_overhead + nbytes / (self.rate_mb_s * MB)
+        return self.per_transfer_overhead + nbytes / self._rate_bytes
 
     def transfer(self, nbytes: int):
         """Process: move ``nbytes`` across the channel (queue + service)."""
         yield self._lock.acquire()
         try:
-            duration = self.transfer_time(nbytes)
+            # Inlined transfer_time: this generator runs once per block
+            # moved anywhere in the simulation.
+            if nbytes < 0:
+                raise SimulationError(f"negative transfer size: {nbytes}")
+            duration = self.per_transfer_overhead + nbytes / self._rate_bytes
             yield self.sim.timeout(duration)
             self.bytes_moved += nbytes
             self.busy_time += duration

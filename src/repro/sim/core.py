@@ -15,6 +15,24 @@ Semantics follow SimPy closely:
 * A failing process re-raises out of :meth:`Simulator.run` unless another
   process is waiting on it, in which case the exception propagates to the
   waiter instead.
+
+Fast-path invariants (see DESIGN.md §7): every scheduling action draws
+exactly one sequence number through :meth:`Simulator._enqueue`, and
+same-time entries fire in sequence order, so the optimizations below —
+``__slots__``, direct process starts instead of bootstrap events,
+the sole-waiter fast path, and batch-popping in :meth:`Simulator.run` —
+change wall-clock cost only, never simulated clocks or results.
+
+Heap entries are ``(when, seq, kind, obj)`` tuples.  ``seq`` is unique,
+so comparisons never reach ``obj``.  Kinds:
+
+* ``_KIND_FIRE`` (0): ``obj`` is an :class:`Event`; fire its callbacks.
+* ``_KIND_START`` (1): ``obj`` is a :class:`Process`; run its first step.
+  This replaces the old per-process bootstrap :class:`Event` while
+  consuming the same single sequence number.
+* ``_KIND_INTERRUPT`` (2): ``obj`` is ``(process, exc)``; throw ``exc``
+  into the process unless it already completed at this same instant.
+  This replaces the old per-interrupt "poke" :class:`Event`.
 """
 
 from __future__ import annotations
@@ -27,15 +45,32 @@ from repro.errors import SimulationError
 
 _UNSET = object()
 
+_KIND_FIRE = 0
+_KIND_START = 1
+_KIND_INTERRUPT = 2
+
 SimGenerator = Generator["Event", Any, Any]
 
 
+def _noop(_event: "Event") -> None:
+    return None
+
+
 class Event:
-    """A one-shot occurrence that processes may wait on."""
+    """A one-shot occurrence that processes may wait on.
+
+    ``callbacks`` stays ``None`` until a second listener appears: the
+    common case — exactly one process waiting — is held in ``_waiter``
+    and resumed directly, without allocating or walking a list.
+    """
+
+    __slots__ = ("sim", "callbacks", "_waiter", "_value", "_exc",
+                 "_processed")
 
     def __init__(self, sim: "Simulator"):
         self.sim = sim
-        self.callbacks: list[Callable[["Event"], None]] = []
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = None
+        self._waiter: Optional["Process"] = None
         self._value: Any = _UNSET
         self._exc: Optional[BaseException] = None
         self._processed = False
@@ -67,14 +102,14 @@ class Event:
 
     # -- triggering -----------------------------------------------------
     def succeed(self, value: Any = None) -> "Event":
-        if self.triggered:
+        if self._value is not _UNSET or self._exc is not None:
             raise SimulationError("event already triggered")
         self._value = value
         self.sim._enqueue(0.0, self)
         return self
 
     def fail(self, exc: BaseException) -> "Event":
-        if self.triggered:
+        if self._value is not _UNSET or self._exc is not None:
             raise SimulationError("event already triggered")
         if not isinstance(exc, BaseException):
             raise SimulationError(f"fail() needs an exception, got {exc!r}")
@@ -86,14 +121,31 @@ class Event:
         """Run ``callback(self)`` when the event fires (immediately if fired)."""
         if self._processed:
             callback(self)
+        elif self.callbacks is None:
+            self.callbacks = [callback]
         else:
             self.callbacks.append(callback)
 
     def _fire(self) -> None:
+        # The sole waiter registered before any listed callback, so it
+        # resumes first — the same FIFO order the callback list gave.
+        # NOTE: the dispatch loops in Simulator.run/run_process inline
+        # this body; keep them in sync.
         self._processed = True
-        callbacks, self.callbacks = self.callbacks, []
-        for callback in callbacks:
-            callback(self)
+        waiter = self._waiter
+        if waiter is not None:
+            self._waiter = None
+            if waiter._value is _UNSET and waiter._exc is None:
+                exc = self._exc
+                if exc is not None:
+                    waiter._step(None, exc)
+                else:
+                    waiter._step(self._value)
+        callbacks = self.callbacks
+        if callbacks is not None:
+            self.callbacks = None
+            for callback in callbacks:
+                callback(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "processed" if self._processed else (
@@ -104,11 +156,19 @@ class Event:
 class Timeout(Event):
     """An event that fires after a fixed simulated delay."""
 
+    __slots__ = ()
+
     def __init__(self, sim: "Simulator", delay: float, value: Any = None):
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay!r}")
-        super().__init__(sim)
-        self._value = value if value is not None else delay
+        # Inlined Event.__init__: timeouts are the hottest allocation in
+        # the kernel, and they trigger at construction time.
+        self.sim = sim
+        self.callbacks = None
+        self._waiter = None
+        self._value = delay if value is None else value
+        self._exc = None
+        self._processed = False
         sim._enqueue(delay, self)
 
 
@@ -128,6 +188,8 @@ class Process(Event):
     the event.
     """
 
+    __slots__ = ("_generator", "name", "_waiting_on")
+
     def __init__(self, sim: "Simulator", generator: SimGenerator,
                  name: str = ""):
         super().__init__(sim)
@@ -137,10 +199,10 @@ class Process(Event):
         self._generator = generator
         self.name = name or getattr(generator, "__name__", "process")
         self._waiting_on: Optional[Event] = None
-        # Kick off at the current instant.
-        bootstrap = Event(sim)
-        bootstrap.add_callback(self._resume)
-        bootstrap.succeed()
+        # Kick off at the current instant: scheduled directly on the
+        # heap (no bootstrap Event), drawing one sequence number exactly
+        # as the bootstrap's succeed() used to.
+        sim._enqueue(0.0, self, _KIND_START)
 
     @property
     def is_alive(self) -> bool:
@@ -148,68 +210,74 @@ class Process(Event):
 
     def interrupt(self, cause: Any = None) -> None:
         """Throw :class:`Interrupt` into the process at the current time."""
-        if self.triggered:
+        if self._value is not _UNSET or self._exc is not None:
             return
         target = self._waiting_on
-        if target is not None and not target.processed:
+        if target is not None and not target._processed:
             # Stop listening to whatever we were waiting for.
-            try:
-                target.callbacks.remove(self._resume)
-            except ValueError:
-                pass
-        poke = Event(self.sim)
-        poke.add_callback(lambda _ev: self._step(throw=Interrupt(cause)))
-        poke.succeed()
+            if target._waiter is self:
+                target._waiter = None
+            elif target.callbacks is not None:
+                try:
+                    target.callbacks.remove(self._resume)
+                except ValueError:
+                    pass
+        # Delivery is deferred via the heap (one sequence number, like
+        # the old poke event); the dispatcher re-checks that the process
+        # is still alive, so an interrupt racing with completion at the
+        # same instant is a no-op instead of a throw into an exhausted
+        # generator.
+        self.sim._enqueue(0.0, (self, Interrupt(cause)), _KIND_INTERRUPT)
 
     # -- internal ---------------------------------------------------------
     def _resume(self, event: Event) -> None:
-        if self.triggered:
+        if self._value is not _UNSET or self._exc is not None:
             return
-        if event._exc is not None:
-            self._step(throw=event._exc)
+        exc = event._exc
+        if exc is not None:
+            self._step(None, exc)
         else:
-            self._step(send=event._value)
+            self._step(event._value)
 
     def _step(self, send: Any = None, throw: Optional[BaseException] = None):
         self._waiting_on = None
-        sim = self.sim
-        previous = sim._active_process
-        sim._active_process = self
-        try:
-            while True:
-                try:
-                    if throw is not None:
-                        exc, throw = throw, None
-                        target = self._generator.throw(exc)
-                    else:
-                        target = self._generator.send(send)
-                except StopIteration as stop:
-                    self.succeed(stop.value)
-                    return
-                except BaseException as exc:  # noqa: BLE001 - must capture all
-                    self._fail_process(exc)
-                    return
-                if not isinstance(target, Event):
-                    exc = SimulationError(
-                        f"process {self.name!r} yielded {target!r}; "
-                        "processes may only yield Event instances")
-                    self._fail_process(exc)
-                    return
-                if target.processed:
-                    # Already fired: continue synchronously.
-                    if target._exc is not None:
-                        throw = target._exc
-                    else:
-                        send = target._value
-                    continue
-                self._waiting_on = target
-                target.add_callback(self._resume)
+        generator = self._generator
+        while True:
+            try:
+                if throw is not None:
+                    exc, throw = throw, None
+                    target = generator.throw(exc)
+                else:
+                    target = generator.send(send)
+            except StopIteration as stop:
+                self.succeed(stop.value)
                 return
-        finally:
-            sim._active_process = previous
+            except BaseException as exc:  # noqa: BLE001 - must capture all
+                self._fail_process(exc)
+                return
+            if not isinstance(target, Event):
+                exc = SimulationError(
+                    f"process {self.name!r} yielded {target!r}; "
+                    "processes may only yield Event instances")
+                self._fail_process(exc)
+                return
+            if target._processed:
+                # Already fired: continue synchronously.
+                if target._exc is not None:
+                    throw = target._exc
+                else:
+                    send = target._value
+                continue
+            self._waiting_on = target
+            if target._waiter is None and not target.callbacks:
+                # Sole waiter: resumed directly by _fire, no list.
+                target._waiter = self
+            else:
+                target.add_callback(self._resume)
+            return
 
     def _fail_process(self, exc: BaseException) -> None:
-        if self.callbacks:
+        if self._waiter is not None or self.callbacks:
             self.fail(exc)
         else:
             # Nobody is waiting: surface the error out of run().
@@ -221,16 +289,18 @@ class Process(Event):
 class _Condition(Event):
     """Base for AllOf / AnyOf composite events."""
 
+    __slots__ = ("_events", "_pending")
+
     def __init__(self, sim: "Simulator", events: Iterable[Event]):
         super().__init__(sim)
         self._events = list(events)
+        self._pending = len(self._events)
         for event in self._events:
             if event.sim is not sim:
                 raise SimulationError("condition mixes events from different simulators")
         if not self._events:
             self.succeed([])
             return
-        self._pending = len(self._events)
         for event in self._events:
             event.add_callback(self._check)
 
@@ -241,8 +311,10 @@ class _Condition(Event):
 class AllOf(_Condition):
     """Fires when every constituent event has fired; value is their values."""
 
+    __slots__ = ()
+
     def _check(self, event: Event) -> None:
-        if self.triggered:
+        if self._value is not _UNSET or self._exc is not None:
             return
         if event._exc is not None:
             self.fail(event._exc)
@@ -255,8 +327,10 @@ class AllOf(_Condition):
 class AnyOf(_Condition):
     """Fires when the first constituent event fires; value is that value."""
 
+    __slots__ = ()
+
     def _check(self, event: Event) -> None:
-        if self.triggered:
+        if self._value is not _UNSET or self._exc is not None:
             return
         if event._exc is not None:
             self.fail(event._exc)
@@ -265,13 +339,12 @@ class AnyOf(_Condition):
 
 
 class Simulator:
-    """The event loop: a priority queue of (time, sequence, event)."""
+    """The event loop: a priority queue of (time, sequence, kind, obj)."""
 
     def __init__(self):
         self.now = 0.0
-        self._heap: list[tuple[float, int, Event]] = []
+        self._heap: list[tuple[float, int, int, Any]] = []
         self._seq = count()
-        self._active_process: Optional[Process] = None
         self._crashed: Optional[BaseException] = None
 
     # -- factories --------------------------------------------------------
@@ -279,7 +352,23 @@ class Simulator:
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
-        return Timeout(self, delay, value)
+        # Fast path: build the Timeout without delegating to __init__
+        # and push the heap entry directly (timeouts are the hottest
+        # allocation in the kernel).  This bypasses _enqueue, so trace
+        # tooling that wants every scheduling action must hook
+        # heapq.heappush rather than _enqueue alone.
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay!r}")
+        timeout = Timeout.__new__(Timeout)
+        timeout.sim = self
+        timeout.callbacks = None
+        timeout._waiter = None
+        timeout._value = delay if value is None else value
+        timeout._exc = None
+        timeout._processed = False
+        heapq.heappush(self._heap,
+                       (self.now + delay, next(self._seq), _KIND_FIRE, timeout))
+        return timeout
 
     def process(self, generator: SimGenerator, name: str = "") -> Process:
         return Process(self, generator, name=name)
@@ -291,21 +380,36 @@ class Simulator:
         return AnyOf(self, events)
 
     # -- scheduling ---------------------------------------------------------
-    def _enqueue(self, delay: float, event: Event) -> None:
-        heapq.heappush(self._heap, (self.now + delay, next(self._seq), event))
+    def _enqueue(self, delay: float, obj: Any, kind: int = _KIND_FIRE) -> None:
+        # Single chokepoint for every scheduling action: the determinism
+        # trace test hooks this to fingerprint simulated behavior.
+        heapq.heappush(self._heap,
+                       (self.now + delay, next(self._seq), kind, obj))
 
     def _crash(self, exc: BaseException) -> None:
         if self._crashed is None:
             self._crashed = exc
 
+    def _dispatch(self, kind: int, obj: Any) -> None:
+        """Run one popped heap entry (time already advanced)."""
+        if kind == _KIND_FIRE:
+            obj._fire()
+        elif kind == _KIND_START:
+            if obj._value is _UNSET and obj._exc is None:
+                obj._step()
+        else:  # _KIND_INTERRUPT
+            process, exc = obj
+            if process._value is _UNSET and process._exc is None:
+                process._step(None, exc)
+
     # -- execution ----------------------------------------------------------
     def step(self) -> None:
         """Fire the single next event."""
-        when, _seq, event = heapq.heappop(self._heap)
+        when, _seq, kind, obj = heapq.heappop(self._heap)
         if when < self.now:
             raise SimulationError("event queue went backwards in time")
         self.now = when
-        event._fire()
+        self._dispatch(kind, obj)
         if self._crashed is not None:
             exc, self._crashed = self._crashed, None
             raise exc
@@ -315,12 +419,44 @@ class Simulator:
 
         Returns the simulation clock after running.
         """
-        while self._heap:
-            when = self._heap[0][0]
+        heap = self._heap
+        heappop = heapq.heappop
+        while heap:
+            when = heap[0][0]
             if until is not None and when > until:
                 self.now = until
                 return self.now
-            self.step()
+            self.now = when
+            # Batch-pop everything scheduled for this instant: one
+            # timestamp comparison per event instead of re-checking
+            # ``until`` and re-reading the clock each iteration.  The
+            # kind-0 arm is Event._fire inlined (sole-waiter resume
+            # first, then listed callbacks) to skip two calls per event.
+            while True:
+                _when, _seq, kind, obj = heappop(heap)
+                if kind == _KIND_FIRE:
+                    obj._processed = True
+                    waiter = obj._waiter
+                    if waiter is not None:
+                        obj._waiter = None
+                        if waiter._value is _UNSET and waiter._exc is None:
+                            exc = obj._exc
+                            if exc is not None:
+                                waiter._step(None, exc)
+                            else:
+                                waiter._step(obj._value)
+                    callbacks = obj.callbacks
+                    if callbacks is not None:
+                        obj.callbacks = None
+                        for callback in callbacks:
+                            callback(obj)
+                else:
+                    self._dispatch(kind, obj)
+                if self._crashed is not None:
+                    exc, self._crashed = self._crashed, None
+                    raise exc
+                if not heap or heap[0][0] != when:
+                    break
         if until is not None and until > self.now:
             self.now = until
         return self.now
@@ -334,11 +470,36 @@ class Simulator:
         proc = self.process(generator, name=name)
         # Keep a callback registered so a failure propagates here rather
         # than crashing the run loop.
-        proc.add_callback(lambda _ev: None)
-        while not proc.triggered:
-            if not self._heap:
+        proc.add_callback(_noop)
+        heap = self._heap
+        heappop = heapq.heappop
+        while proc._value is _UNSET and proc._exc is None:
+            if not heap:
                 raise SimulationError(
                     f"deadlock: process {proc.name!r} cannot complete "
                     "(event queue is empty)")
-            self.step()
+            when, _seq, kind, obj = heappop(heap)
+            self.now = when
+            # Inlined Event._fire, as in run() above.
+            if kind == _KIND_FIRE:
+                obj._processed = True
+                waiter = obj._waiter
+                if waiter is not None:
+                    obj._waiter = None
+                    if waiter._value is _UNSET and waiter._exc is None:
+                        exc = obj._exc
+                        if exc is not None:
+                            waiter._step(None, exc)
+                        else:
+                            waiter._step(obj._value)
+                callbacks = obj.callbacks
+                if callbacks is not None:
+                    obj.callbacks = None
+                    for callback in callbacks:
+                        callback(obj)
+            else:
+                self._dispatch(kind, obj)
+            if self._crashed is not None:
+                exc, self._crashed = self._crashed, None
+                raise exc
         return proc.value

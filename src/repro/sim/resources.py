@@ -27,6 +27,8 @@ class Resource:
             resource.release()
     """
 
+    __slots__ = ("sim", "capacity", "name", "_in_use", "_waiters")
+
     def __init__(self, sim: Simulator, capacity: int = 1, name: str = ""):
         if capacity < 1:
             raise SimulationError(f"capacity must be >= 1, got {capacity}")
@@ -73,6 +75,8 @@ class Resource:
 
 
 class _Lease:
+    __slots__ = ("_resource",)
+
     def __init__(self, resource: Resource):
         self._resource = resource
 
@@ -89,6 +93,8 @@ class PriorityResource(Resource):
     Lower ``priority`` values are served first; ties are FIFO.  The
     XBUS crossbar uses this for its centralized priority arbitration.
     """
+
+    __slots__ = ("_pq", "_tiebreak")
 
     def __init__(self, sim: Simulator, capacity: int = 1, name: str = ""):
         super().__init__(sim, capacity, name)
@@ -120,6 +126,8 @@ class PriorityResource(Resource):
 
 class Store:
     """An unbounded (or bounded) FIFO queue of items between processes."""
+
+    __slots__ = ("sim", "capacity", "name", "_items", "_getters", "_putters")
 
     def __init__(self, sim: Simulator, capacity: Optional[int] = None,
                  name: str = ""):

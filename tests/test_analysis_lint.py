@@ -17,7 +17,8 @@ def codes(snippet: str):
 
 def test_rules_are_registered():
     registered = {cls.code for cls in all_rules()}
-    assert {"SIM001", "SIM002", "SIM003", "UNIT001", "UNIT002"} <= registered
+    assert {"SIM001", "SIM002", "SIM003", "SIM004",
+            "UNIT001", "UNIT002"} <= registered
 
 
 # ---------------------------------------------------------------------------
@@ -234,6 +235,75 @@ def test_unit002_single_family_is_clean():
 
         def size(n):
             return n * KIB + 2 * MIB
+    """) == []
+
+
+# ---------------------------------------------------------------------------
+# SIM004: zero-copy discipline on the data path
+# ---------------------------------------------------------------------------
+
+def run_hot(snippet: str, path: str = "src/repro/hw/mod.py"):
+    """Lint a snippet as if it lived inside the hw/raid/lfs data path."""
+    return Linter().run_text(textwrap.dedent(snippet), path=path)
+
+
+def test_sim004_bytes_of_buffer_flagged_in_hot_path():
+    found = run_hot("""
+        def f(view):
+            return bytes(view)
+    """)
+    assert [f.code for f in found] == ["SIM004"]
+    assert "bytes(view)" in found[0].message
+
+
+def test_sim004_ignores_code_outside_hot_path():
+    assert run_hot("""
+        def f(view):
+            return bytes(view)
+    """, path="src/repro/experiments/mod.py") == []
+
+
+def test_sim004_bytes_of_size_constant_is_clean():
+    # bytes(BLOCK_SIZE) builds zeros; bytes(n - k) likewise.
+    assert run_hot("""
+        def f(cut):
+            return bytes(BLOCK_SIZE) + bytes(BLOCK_SIZE - cut)
+    """) == []
+
+
+def test_sim004_bytes_of_slice_flagged():
+    found = run_hot("""
+        def f(buf, a, b):
+            return bytes(buf[a:b])
+    """)
+    assert [f.code for f in found] == ["SIM004"]
+
+
+def test_sim004_slicing_bytes_param_in_process_flagged():
+    found = run_hot("""
+        def body(data: bytes):
+            piece = data[0:512]
+            yield piece
+    """)
+    assert [f.code for f in found] == ["SIM004"]
+    assert "memoryview" in found[0].message
+
+
+def test_sim004_plain_helpers_may_slice():
+    # Metadata codecs are not simulation processes; slicing there is
+    # out of scope.
+    assert run_hot("""
+        def decode(data: bytes):
+            return data[0:4], data[4:8]
+    """) == []
+
+
+def test_sim004_pragma_allowlists_durability_boundary():
+    assert run_hot("""
+        def body(view):
+            yield view
+            chunk = bytes(view)  # lint: disable=SIM004
+            return chunk
     """) == []
 
 

@@ -131,6 +131,39 @@ def test_xor_blocks_empty_rejected():
         xor_blocks([])
 
 
+def test_xor_blocks_accepts_memoryviews_and_bytearrays():
+    a = bytes(range(64))
+    b = bytearray(x ^ 0x5A for x in range(64))
+    expected = xor_blocks([a, bytes(b)])
+    assert xor_blocks([memoryview(a), b]) == expected
+    assert xor_blocks([a, memoryview(b)]) == expected
+
+
+def test_xor_blocks_adjacent_slices_match_separate_blocks():
+    # The zero-copy write path hands xor_blocks consecutive memoryview
+    # slices of one payload; they must agree with standalone copies of
+    # the same blocks bit for bit.
+    import random
+    payload = random.Random(7).randbytes(4 * 512)
+    view = memoryview(payload)
+    adjacent = [view[i * 512:(i + 1) * 512] for i in range(4)]
+    separate = [bytes(block) for block in adjacent]
+    assert xor_blocks(adjacent) == xor_blocks(separate)
+
+
+def test_xor_blocks_length_mismatch_names_offender():
+    with pytest.raises(HardwareError, match="block 2"):
+        xor_blocks([b"aaaa", b"bbbb", b"ccc"])
+
+
+def test_xor_blocks_single_block_returns_copy():
+    block = bytearray(b"\x01\x02\x03\x04")
+    parity = xor_blocks([block])
+    assert parity == b"\x01\x02\x03\x04"
+    block[0] = 0xFF
+    assert parity == b"\x01\x02\x03\x04"
+
+
 def test_parity_engine_timed_compute(sim):
     engine = ParityEngine(sim)
     blocks = [bytes([i]) * (64 * KIB) for i in range(4)]

@@ -286,6 +286,35 @@ def test_interrupt_after_completion_is_noop():
     assert proc.value == "done"
 
 
+def test_interrupt_racing_with_completion_is_noop():
+    # Regression: two interrupts delivered in the same instant.  The
+    # first wakes the process, which catches it and *returns*; the
+    # second must notice the process already completed rather than
+    # throwing into an exhausted generator (which used to surface as a
+    # SimulationError from failing an already-triggered event).
+    sim = Simulator()
+    caught = []
+
+    def body():
+        try:
+            yield sim.timeout(10.0)
+        except Interrupt as intr:
+            caught.append(intr.cause)
+        return "finished"
+
+    proc = sim.process(body())
+
+    def killer():
+        yield sim.timeout(1.0)
+        proc.interrupt("first")
+        proc.interrupt("second")
+
+    sim.process(killer())
+    sim.run()
+    assert caught == ["first"]
+    assert proc.value == "finished"
+
+
 def test_deadlock_detected_by_run_process():
     sim = Simulator()
 
