@@ -1,4 +1,4 @@
-"""Simulation-correctness lint rules (SIM001..SIM004).
+"""Simulation-correctness lint rules (SIM001..SIM005).
 
 The event kernel's contract is easy to violate silently:
 
@@ -13,7 +13,10 @@ The event kernel's contract is easy to violate silently:
   (and ``Interrupt``), hiding kernel misuse;
 * a stray ``bytes(...)``/slice copy on the data path silently undoes
   the zero-copy discipline (payloads are threaded as ``memoryview``
-  slices and copied only at the durability boundary).
+  slices and copied only at the durability boundary);
+* a ``tracer.span(...)`` not used as a context manager never records
+  its end time — the span silently covers zero sim-time (or leaks as
+  an unfinished parent for every span opened after it).
 """
 
 from __future__ import annotations
@@ -23,7 +26,7 @@ from typing import Iterator
 
 from repro.analysis.lint import (Finding, LintRule, Project, SourceFile,
                                  call_name, is_generator, iter_functions,
-                                 register_rule, walk_scope)
+                                 parent_of, register_rule, walk_scope)
 
 #: Methods that return an Event the caller must wait on.  These come
 #: from the kernel API (Simulator/Resource/Store), so they cannot be
@@ -265,3 +268,57 @@ class DataPathCopy(LintRule):
                         f"slicing bytes parameter {node.value.id!r} "
                         "copies; take memoryview("
                         f"{node.value.id}) once and slice that")
+
+
+# ---------------------------------------------------------------------------
+# SIM005 — span lifecycle discipline
+# ---------------------------------------------------------------------------
+
+#: Directories whose simulation processes must open spans with a
+#: ``with`` statement: the instrumented data-path layers.
+_SPAN_DIRS = _HOT_PATH_DIRS | {"server"}
+
+
+def _in_span_dirs(path: str) -> bool:
+    parts = path.replace("\\", "/").split("/")
+    return any(part in _SPAN_DIRS for part in parts)
+
+
+def _is_tracer_span(call: ast.Call) -> bool:
+    """True for ``<...>.tracer.span(...)`` or ``tracer.span(...)``."""
+    func = call.func
+    if not isinstance(func, ast.Attribute) or func.attr != "span":
+        return False
+    owner = func.value
+    if isinstance(owner, ast.Name):
+        return owner.id == "tracer"
+    return isinstance(owner, ast.Attribute) and owner.attr == "tracer"
+
+
+@register_rule
+class SpanNotContextManaged(LintRule):
+    """SIM005: a tracer span opened without a ``with`` statement."""
+
+    code = "SIM005"
+    description = ("tracer.span() outside a with statement never "
+                   "records its end time")
+
+    def check(self, source: SourceFile,
+              project: Project) -> Iterator[Finding]:
+        if not _in_span_dirs(source.path):
+            return
+        for func in iter_functions(source.tree):
+            if not is_generator(func):
+                continue
+            for node in walk_scope(func):
+                if not isinstance(node, ast.Call) \
+                        or not _is_tracer_span(node):
+                    continue
+                if isinstance(parent_of(node), ast.withitem):
+                    continue
+                yield self.finding(
+                    source, node,
+                    "tracer.span() must be the context expression of a "
+                    "with statement ('with tracer.span(...):'); opened "
+                    "any other way the span never ends and mis-parents "
+                    "everything traced after it")

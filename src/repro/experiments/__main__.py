@@ -6,6 +6,14 @@ Usage::
     python -m repro.experiments fig5 table2 ...     # quick runs
     python -m repro.experiments --full fig8         # full-resolution
     python -m repro.experiments all
+    python -m repro.experiments --trace out.json fig5   # Perfetto trace
+    python -m repro.experiments --metrics table2        # registry dump
+
+``--trace FILE`` records sim-time spans for a single experiment and
+writes a Chrome ``trace_event`` JSON file loadable in Perfetto
+(https://ui.perfetto.dev) or ``chrome://tracing``; a per-layer
+breakdown table is printed alongside.  ``--metrics`` prints each run's
+metrics-registry snapshot after the experiment's own report.
 """
 
 from __future__ import annotations
@@ -18,6 +26,8 @@ from repro.experiments import (ablations, degraded_mode, fig5_hw_throughput,
                                raid1_baseline, recovery_time,
                                table1_peak_sequential, table2_small_io,
                                vme_ports, zebra_scaling)
+from repro.obs import (chrome_trace_json, observe, render_layer_breakdown,
+                       render_metrics_snapshot)
 
 REGISTRY = {
     "fig5": fig5_hw_throughput.run,
@@ -40,24 +50,73 @@ REGISTRY = {
 }
 
 
+def _parse(argv: list[str]):
+    """Split argv into (names, quick, trace_path, want_metrics)."""
+    names: list[str] = []
+    quick = True
+    trace_path = None
+    want_metrics = False
+    position = 0
+    while position < len(argv):
+        arg = argv[position]
+        if arg == "--full":
+            quick = False
+        elif arg == "--metrics":
+            want_metrics = True
+        elif arg == "--trace":
+            position += 1
+            if position >= len(argv):
+                raise ValueError("--trace needs an output path")
+            trace_path = argv[position]
+        elif arg.startswith("--trace="):
+            trace_path = arg.split("=", 1)[1]
+        elif arg.startswith("--"):
+            raise ValueError(f"unknown option {arg!r}")
+        else:
+            names.append(arg)
+        position += 1
+    return names, quick, trace_path, want_metrics
+
+
 def main(argv: list[str]) -> int:
-    args = [arg for arg in argv if arg != "--full"]
-    quick = "--full" not in argv
+    try:
+        args, quick, trace_path, want_metrics = _parse(argv)
+    except ValueError as error:
+        print(error, file=sys.stderr)
+        return 2
     if not args or args == ["list"]:
         print("available experiments:")
         for name in REGISTRY:
             print(f"  {name}")
         print("\nusage: python -m repro.experiments [--full] "
-              "<name>... | all | list")
+              "[--trace out.json] [--metrics] <name>... | all | list")
         return 0
     names = list(REGISTRY) if args == ["all"] else args
+    if trace_path is not None and len(names) != 1:
+        print("--trace records one experiment at a time; "
+              f"got {len(names)} names", file=sys.stderr)
+        return 2
     for name in names:
         runner = REGISTRY.get(name)
         if runner is None:
             print(f"unknown experiment {name!r}; try 'list'",
                   file=sys.stderr)
             return 2
-        print(runner(quick=quick).render())
+        with observe(trace=trace_path is not None) as session:
+            result = runner(quick=quick)
+        result.metrics = session.metrics_snapshot()
+        print(result.render())
+        if trace_path is not None:
+            with open(trace_path, "w", encoding="utf-8") as handle:
+                handle.write(chrome_trace_json(session))
+            nspans = sum(len(tracer.finished)
+                         for tracer in session.tracers)
+            print(f"\nwrote {nspans} spans to {trace_path} "
+                  "(load in https://ui.perfetto.dev)")
+            print(render_layer_breakdown(session))
+        if want_metrics:
+            print()
+            print(render_metrics_snapshot(result.metrics))
         print()
     return 0
 

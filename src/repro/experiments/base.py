@@ -49,6 +49,10 @@ class ExperimentResult:
     #: The paper's anchor values for the scalars, same keys where known.
     paper: dict[str, float] = field(default_factory=dict)
     notes: list[str] = field(default_factory=list)
+    #: Metrics-registry snapshots from the simulators the experiment
+    #: ran (one entry per run), filled in when the CLI observes the
+    #: run; see repro.obs.  Shape: {"run1": {component: {name: ...}}}.
+    metrics: dict = field(default_factory=dict)
 
     def series_named(self, name: str) -> Series:
         for series in self.series:

@@ -75,7 +75,8 @@ class CougarController:
 
     def _controller_transfer(self, string: ScsiString, nbytes: int):
         """Process: the controller-internal data leg."""
-        yield from self.channel.transfer(nbytes)
+        with self.sim.tracer.span("cougar.bus", self.name, nbytes=nbytes):
+            yield from self.channel.transfer(nbytes)
 
     # ------------------------------------------------------------------
     def read(self, disk: DiskDrive, lba: int, nsectors: int):
@@ -89,38 +90,41 @@ class CougarController:
         string = self.string_of(disk)
         index = self.strings.index(string)
         nbytes = nsectors * SECTOR_SIZE
-        yield from self._dual_string_delay(string)
-        self._inflight[index] += 1
-        try:
-            read_proc = self.sim.process(disk.read(lba, nsectors),
-                                         name=f"{disk.name}.read")
-            string_proc = self.sim.process(string.transfer(nbytes),
-                                           name=f"{string.name}.xfer")
-            ctrl_proc = self.sim.process(
-                self._controller_transfer(string, nbytes),
-                name=f"{self.name}.xfer")
-            values = yield self.sim.all_of([read_proc, string_proc,
-                                            ctrl_proc])
-            return values[0]
-        finally:
-            self._inflight[index] -= 1
+        with self.sim.tracer.span("cougar.read", self.name, nbytes=nbytes):
+            yield from self._dual_string_delay(string)
+            self._inflight[index] += 1
+            try:
+                read_proc = self.sim.process(disk.read(lba, nsectors),
+                                             name=f"{disk.name}.read")
+                string_proc = self.sim.process(string.transfer(nbytes),
+                                               name=f"{string.name}.xfer")
+                ctrl_proc = self.sim.process(
+                    self._controller_transfer(string, nbytes),
+                    name=f"{self.name}.xfer")
+                values = yield self.sim.all_of([read_proc, string_proc,
+                                                ctrl_proc])
+                return values[0]
+            finally:
+                self._inflight[index] -= 1
 
     def write(self, disk: DiskDrive, lba: int, data: bytes):
         """Process: write ``data`` to ``disk`` down through the controller."""
         string = self.string_of(disk)
         index = self.strings.index(string)
-        yield from self._dual_string_delay(string)
-        self._inflight[index] += 1
-        try:
-            write_proc = self.sim.process(disk.write(lba, data),
-                                          name=f"{disk.name}.write")
-            string_proc = self.sim.process(
-                string.transfer(len(data), write=True),
-                name=f"{string.name}.xfer")
-            ctrl_proc = self.sim.process(
-                self._controller_transfer(string, len(data)),
-                name=f"{self.name}.xfer")
-            yield self.sim.all_of([write_proc, string_proc, ctrl_proc])
-            return None
-        finally:
-            self._inflight[index] -= 1
+        with self.sim.tracer.span("cougar.write", self.name,
+                                  nbytes=len(data)):
+            yield from self._dual_string_delay(string)
+            self._inflight[index] += 1
+            try:
+                write_proc = self.sim.process(disk.write(lba, data),
+                                              name=f"{disk.name}.write")
+                string_proc = self.sim.process(
+                    string.transfer(len(data), write=True),
+                    name=f"{string.name}.xfer")
+                ctrl_proc = self.sim.process(
+                    self._controller_transfer(string, len(data)),
+                    name=f"{self.name}.xfer")
+                yield self.sim.all_of([write_proc, string_proc, ctrl_proc])
+                return None
+            finally:
+                self._inflight[index] -= 1

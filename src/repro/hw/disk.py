@@ -70,9 +70,12 @@ class DiskDrive:
             return 0.0
         span = max(1, self.spec.num_cylinders - 1)
         fraction = min(1.0, distance / span)
-        return (self.spec.min_seek_s
-                + (self.spec.max_seek_s - self.spec.min_seek_s)
-                * math.sqrt(fraction))
+        # A full-span seek can land one ULP above max_seek_s through
+        # float rounding; clamp so the spec bound really is a bound.
+        return min(self.spec.max_seek_s,
+                   self.spec.min_seek_s
+                   + (self.spec.max_seek_s - self.spec.min_seek_s)
+                   * math.sqrt(fraction))
 
     def media_transfer_time(self, nbytes: int) -> float:
         return nbytes / (self.spec.media_rate_mb_s * MB)
@@ -98,19 +101,22 @@ class DiskDrive:
     def read(self, lba: int, nsectors: int):
         """Process: read ``nsectors`` starting at ``lba``; returns bytes."""
         self._check_extent(lba, nsectors)
-        yield self._slot.acquire()
-        self.busy.enter()
-        try:
-            if self.failed:
-                raise DiskFailedError(self.name)
-            yield self.sim.timeout(self._service_time("read", lba, nsectors))
-            self._last = ("read", lba + nsectors)
-            self.reads += 1
-            self.bytes_read += nsectors * SECTOR_SIZE
-            return self.peek(lba, nsectors)
-        finally:
-            self.busy.exit()
-            self._slot.release()
+        with self.sim.tracer.span("disk.read", self.name,
+                                  nbytes=nsectors * SECTOR_SIZE, lba=lba):
+            yield self._slot.acquire()
+            self.busy.enter()
+            try:
+                if self.failed:
+                    raise DiskFailedError(self.name)
+                yield self.sim.timeout(
+                    self._service_time("read", lba, nsectors))
+                self._last = ("read", lba + nsectors)
+                self.reads += 1
+                self.bytes_read += nsectors * SECTOR_SIZE
+                return self.peek(lba, nsectors)
+            finally:
+                self.busy.exit()
+                self._slot.release()
 
     def write(self, lba: int, data: bytes):
         """Process: write ``data`` (multiple of the sector size) at ``lba``."""
@@ -119,20 +125,23 @@ class DiskDrive:
                 f"write size {len(data)} is not sector-aligned")
         nsectors = len(data) // SECTOR_SIZE
         self._check_extent(lba, nsectors)
-        yield self._slot.acquire()
-        self.busy.enter()
-        try:
-            if self.failed:
-                raise DiskFailedError(self.name)
-            yield self.sim.timeout(self._service_time("write", lba, nsectors))
-            self._last = ("write", lba + nsectors)
-            self.poke(lba, data)
-            self.writes += 1
-            self.bytes_written += len(data)
-            return None
-        finally:
-            self.busy.exit()
-            self._slot.release()
+        with self.sim.tracer.span("disk.write", self.name,
+                                  nbytes=len(data), lba=lba):
+            yield self._slot.acquire()
+            self.busy.enter()
+            try:
+                if self.failed:
+                    raise DiskFailedError(self.name)
+                yield self.sim.timeout(
+                    self._service_time("write", lba, nsectors))
+                self._last = ("write", lba + nsectors)
+                self.poke(lba, data)
+                self.writes += 1
+                self.bytes_written += len(data)
+                return None
+            finally:
+                self.busy.exit()
+                self._slot.release()
 
     def _service_time(self, kind: str, lba: int, nsectors: int) -> float:
         spec = self.spec

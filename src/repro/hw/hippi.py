@@ -39,10 +39,12 @@ class HippiPort:
             raise HardwareError(f"negative transfer size: {nbytes}")
         if packets < 1:
             raise HardwareError(f"packets must be >= 1, got {packets}")
-        setup = packets * self.spec.packet_overhead_s
-        yield self.sim.timeout(setup)
-        yield from self.channel.transfer(nbytes)
-        self.packets_sent += packets
+        with self.sim.tracer.span("hippi.send", self.name, nbytes=nbytes,
+                                  packets=packets):
+            setup = packets * self.spec.packet_overhead_s
+            yield self.sim.timeout(setup)
+            yield from self.channel.transfer(nbytes)
+            self.packets_sent += packets
 
     def packets_for(self, nbytes: int, max_packet_bytes: int) -> int:
         """Packet count when a transfer is chopped at ``max_packet_bytes``."""

@@ -76,7 +76,9 @@ class ParityEngine:
         """
         traffic = sum(len(block) for block in blocks) + len(blocks[0])
         parity = xor_blocks(blocks)  # validates lengths up front
-        yield from self.port.transfer(traffic)
+        with self.sim.tracer.span("parity.compute", self.name,
+                                  nbytes=traffic, blocks=len(blocks)):
+            yield from self.port.transfer(traffic)
         self.blocks_xored += len(blocks)
         return parity
 

@@ -47,14 +47,17 @@ class ScsiString:
         """
         self.active_transfers += 1
         try:
-            if write:
-                # Same bus, slower effective rate: scale the byte count
-                # so the shared FIFO channel charges write-rate time.
-                scaled = int(nbytes * self.spec.rate_mb_s
-                             / self.spec.write_rate_mb_s)
-                yield from self.channel.transfer(scaled)
-            else:
-                yield from self.channel.transfer(nbytes)
+            with self.sim.tracer.span("scsi.transfer", self.name,
+                                      nbytes=nbytes, write=write):
+                if write:
+                    # Same bus, slower effective rate: scale the byte
+                    # count so the shared FIFO channel charges
+                    # write-rate time.
+                    scaled = int(nbytes * self.spec.rate_mb_s
+                                 / self.spec.write_rate_mb_s)
+                    yield from self.channel.transfer(scaled)
+                else:
+                    yield from self.channel.transfer(nbytes)
         finally:
             self.active_transfers -= 1
 

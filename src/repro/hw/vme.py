@@ -54,14 +54,16 @@ class VmePort:
 
     def transfer(self, nbytes: int, direction: Direction):
         """Process: move ``nbytes`` across the port (queue + service)."""
-        yield self._lock.acquire()
-        try:
-            duration = self.transfer_time(nbytes, direction)
-            yield self.sim.timeout(duration)
-            self.bytes_moved += nbytes
-            self.busy_time += duration
-        finally:
-            self._lock.release()
+        with self.sim.tracer.span("vme.transfer", self.name, nbytes=nbytes,
+                                  direction=direction.value):
+            yield self._lock.acquire()
+            try:
+                duration = self.transfer_time(nbytes, direction)
+                yield self.sim.timeout(duration)
+                self.bytes_moved += nbytes
+                self.busy_time += duration
+            finally:
+                self._lock.release()
 
     def utilization(self, elapsed: float) -> float:
         if elapsed <= 0:

@@ -85,24 +85,27 @@ class XbusDiskPath:
         """Process: disk -> ... -> XBUS memory; returns the bytes."""
         sim = self.board.sim
         nbytes = nsectors * SECTOR_SIZE
-        legs = [
-            sim.process(self.cougar.read(self.disk, lba, nsectors)),
-            sim.process(self.port.transfer(nbytes, Direction.READ)),
-            sim.process(self.board.memory.access(nbytes)),
-        ]
-        values = yield sim.all_of(legs)
-        return values[0]
+        with sim.tracer.span("xbus.disk_read", self.name, nbytes=nbytes):
+            legs = [
+                sim.process(self.cougar.read(self.disk, lba, nsectors)),
+                sim.process(self.port.transfer(nbytes, Direction.READ)),
+                sim.process(self.board.memory.access(nbytes)),
+            ]
+            values = yield sim.all_of(legs)
+            return values[0]
 
     def write(self, lba: int, data: bytes):
         """Process: XBUS memory -> ... -> disk."""
         sim = self.board.sim
-        legs = [
-            sim.process(self.board.memory.access(len(data))),
-            sim.process(self.port.transfer(len(data), Direction.WRITE)),
-            sim.process(self.cougar.write(self.disk, lba, data)),
-        ]
-        yield sim.all_of(legs)
-        return None
+        with sim.tracer.span("xbus.disk_write", self.name,
+                             nbytes=len(data)):
+            legs = [
+                sim.process(self.board.memory.access(len(data))),
+                sim.process(self.port.transfer(len(data), Direction.WRITE)),
+                sim.process(self.cougar.write(self.disk, lba, data)),
+            ]
+            yield sim.all_of(legs)
+            return None
 
 
 class XbusBoard:
@@ -187,21 +190,25 @@ class XbusBoard:
     # ------------------------------------------------------------------
     def send_hippi(self, nbytes: int, packets: int = 1):
         """Process: XBUS memory -> HIPPI source port -> network."""
-        legs = [
-            self.sim.process(self.memory.access(nbytes)),
-            self.sim.process(self.hippi_source.send(nbytes, packets)),
-        ]
-        yield self.sim.all_of(legs)
-        return None
+        with self.sim.tracer.span("xbus.send_hippi", self.name,
+                                  nbytes=nbytes):
+            legs = [
+                self.sim.process(self.memory.access(nbytes)),
+                self.sim.process(self.hippi_source.send(nbytes, packets)),
+            ]
+            yield self.sim.all_of(legs)
+            return None
 
     def receive_hippi(self, nbytes: int, packets: int = 1):
         """Process: network -> HIPPI destination port -> XBUS memory."""
-        legs = [
-            self.sim.process(self.hippi_dest.send(nbytes, packets)),
-            self.sim.process(self.memory.access(nbytes)),
-        ]
-        yield self.sim.all_of(legs)
-        return None
+        with self.sim.tracer.span("xbus.receive_hippi", self.name,
+                                  nbytes=nbytes):
+            legs = [
+                self.sim.process(self.hippi_dest.send(nbytes, packets)),
+                self.sim.process(self.memory.access(nbytes)),
+            ]
+            yield self.sim.all_of(legs)
+            return None
 
     def hippi_loopback(self, nbytes: int, packets: int = 1):
         """Process: memory -> source -> destination -> memory (Figure 6).
@@ -210,35 +217,40 @@ class XbusBoard:
         consumes the stream as the source emits it, which is how the
         loopback sustains 38.5 MB/s *in each direction*.
         """
-        legs = [
-            self.sim.process(self.send_hippi(nbytes, packets)),
-            self.sim.process(self.receive_hippi(nbytes, packets)),
-        ]
-        yield self.sim.all_of(legs)
-        return None
+        with self.sim.tracer.span("xbus.hippi_loopback", self.name,
+                                  nbytes=nbytes):
+            legs = [
+                self.sim.process(self.send_hippi(nbytes, packets)),
+                self.sim.process(self.receive_hippi(nbytes, packets)),
+            ]
+            yield self.sim.all_of(legs)
+            return None
 
     # ------------------------------------------------------------------
     # host-side (control path) data movement
     # ------------------------------------------------------------------
     def to_host(self, nbytes: int):
         """Process: XBUS memory -> control port (toward host memory)."""
-        legs = [
-            self.sim.process(self.memory.access(nbytes)),
-            self.sim.process(
-                self.control_port.transfer(nbytes, Direction.WRITE)),
-        ]
-        yield self.sim.all_of(legs)
-        return None
+        with self.sim.tracer.span("xbus.to_host", self.name, nbytes=nbytes):
+            legs = [
+                self.sim.process(self.memory.access(nbytes)),
+                self.sim.process(
+                    self.control_port.transfer(nbytes, Direction.WRITE)),
+            ]
+            yield self.sim.all_of(legs)
+            return None
 
     def from_host(self, nbytes: int):
         """Process: control port -> XBUS memory."""
-        legs = [
-            self.sim.process(
-                self.control_port.transfer(nbytes, Direction.READ)),
-            self.sim.process(self.memory.access(nbytes)),
-        ]
-        yield self.sim.all_of(legs)
-        return None
+        with self.sim.tracer.span("xbus.from_host", self.name,
+                                  nbytes=nbytes):
+            legs = [
+                self.sim.process(
+                    self.control_port.transfer(nbytes, Direction.READ)),
+                self.sim.process(self.memory.access(nbytes)),
+            ]
+            yield self.sim.all_of(legs)
+            return None
 
     # ------------------------------------------------------------------
     # parity
@@ -249,9 +261,10 @@ class XbusBoard:
         Charges the engine port plus the matching memory-bank traffic.
         """
         traffic = sum(len(block) for block in blocks) + len(blocks[0])
-        legs = [
-            self.sim.process(self.parity_engine.compute(blocks)),
-            self.sim.process(self.memory.access(traffic)),
-        ]
-        values = yield self.sim.all_of(legs)
-        return values[0]
+        with self.sim.tracer.span("xbus.parity", self.name, nbytes=traffic):
+            legs = [
+                self.sim.process(self.parity_engine.compute(blocks)),
+                self.sim.process(self.memory.access(traffic)),
+            ]
+            values = yield self.sim.all_of(legs)
+            return values[0]

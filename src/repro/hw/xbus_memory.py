@@ -64,7 +64,8 @@ class XbusMemory:
         for index in range(remainder):
             counters[(base + index) % banks] += 1
         self._next_bank = (base + 1) % banks
-        yield from self.channel.transfer(nbytes)
+        with self.sim.tracer.span("xmem.access", self.name, nbytes=nbytes):
+            yield from self.channel.transfer(nbytes)
 
     # ------------------------------------------------------------------
     # buffer-pool accounting (instantaneous)

@@ -863,81 +863,91 @@ class LogStructuredFS:
     # public API: every operation runs under the op lock, serializing
     # file-system work the way the single-CPU Sprite host did.
     # ==================================================================
-    def _locked(self, operation):
-        """Process: run ``operation`` (a generator) under the op lock."""
+    def _locked(self, operation, op: str = "op", nbytes: int = 0):
+        """Process: run ``operation`` (a generator) under the op lock.
+
+        ``op`` names the public operation in the trace ("lfs.read",
+        "lfs.sync"...); the span covers lock wait plus service time,
+        matching what a caller of the public API experiences.
+        """
         if self._oplock is None:
             self._oplock = _make_oplock(self.sim, self.name)
-        yield self._oplock.acquire()
-        try:
-            result = yield from operation
-            return result
-        finally:
-            self._oplock.release()
+        with self.sim.tracer.span(f"lfs.{op}", self.name, nbytes=nbytes):
+            yield self._oplock.acquire()
+            try:
+                result = yield from operation
+                return result
+            finally:
+                self._oplock.release()
 
     def read(self, path: str, offset: int, nbytes: int):
         """Process: read up to ``nbytes`` at ``offset``; returns bytes."""
-        result = yield from self._locked(self._read_impl(path, offset, nbytes))
+        result = yield from self._locked(
+            self._read_impl(path, offset, nbytes), "read", nbytes)
         return result
 
     def write(self, path: str, offset: int, data: bytes):
         """Process: write ``data`` at ``offset`` of the file at ``path``."""
-        result = yield from self._locked(self._write_impl(path, offset, data))
+        result = yield from self._locked(
+            self._write_impl(path, offset, data), "write", len(data))
         return result
 
     def truncate(self, path: str, new_size: int = 0):
         """Process: shrink (or zero-extend) the file at ``path``."""
-        result = yield from self._locked(self._truncate_impl(path, new_size))
+        result = yield from self._locked(
+            self._truncate_impl(path, new_size), "truncate")
         return result
 
     def create(self, path: str):
         """Process: create an empty regular file; returns its inode no."""
-        result = yield from self._locked(self._create_impl(path))
+        result = yield from self._locked(self._create_impl(path), "create")
         return result
 
     def mkdir(self, path: str):
         """Process: create an empty directory; returns its inode no."""
-        result = yield from self._locked(self._mkdir_impl(path))
+        result = yield from self._locked(self._mkdir_impl(path), "mkdir")
         return result
 
     def readdir(self, path: str):
         """Process: list a directory; returns {name: (ino, ftype)}."""
-        result = yield from self._locked(self._readdir_impl(path))
+        result = yield from self._locked(self._readdir_impl(path), "readdir")
         return result
 
     def stat(self, path: str):
         """Process: file attributes for ``path``."""
-        result = yield from self._locked(self._stat_impl(path))
+        result = yield from self._locked(self._stat_impl(path), "stat")
         return result
 
     def exists(self, path: str):
         """Process: True if ``path`` resolves."""
-        result = yield from self._locked(self._exists_impl(path))
+        result = yield from self._locked(self._exists_impl(path), "exists")
         return result
 
     def unlink(self, path: str):
         """Process: remove a regular file and free its blocks."""
-        result = yield from self._locked(self._unlink_impl(path))
+        result = yield from self._locked(self._unlink_impl(path), "unlink")
         return result
 
     def rmdir(self, path: str):
         """Process: remove an empty directory."""
-        result = yield from self._locked(self._rmdir_impl(path))
+        result = yield from self._locked(self._rmdir_impl(path), "rmdir")
         return result
 
     def rename(self, old_path: str, new_path: str):
         """Process: move a file or directory (replaces a plain file)."""
         result = yield from self._locked(
-            self._rename_impl(old_path, new_path))
+            self._rename_impl(old_path, new_path), "rename")
         return result
 
     def sync(self):
         """Process: push dirty metadata and the open fragment to disk."""
-        result = yield from self._locked(self._sync_impl())
+        result = yield from self._locked(self._sync_impl(), "sync")
         return result
 
     def checkpoint(self):
         """Process: sync, write the imap, commit a checkpoint region."""
-        result = yield from self._locked(self._checkpoint_impl())
+        result = yield from self._locked(self._checkpoint_impl(),
+                                         "checkpoint")
         return result
 
     # ==================================================================

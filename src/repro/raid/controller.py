@@ -89,11 +89,14 @@ class _BaseController:
     # ------------------------------------------------------------------
     def read(self, offset: int, nbytes: int):
         """Process: read a logical range; returns the bytes."""
-        pieces = self.layout.map_data(offset, nbytes)
-        procs = [self.sim.process(self._read_piece(piece), name="piece-read")
-                 for piece in pieces]
-        values = yield self.sim.all_of(procs)
-        return b"".join(values)
+        with self.sim.tracer.span("raid.read", self.name, nbytes=nbytes,
+                                  offset=offset):
+            pieces = self.layout.map_data(offset, nbytes)
+            procs = [self.sim.process(self._read_piece(piece),
+                                      name="piece-read")
+                     for piece in pieces]
+            values = yield self.sim.all_of(procs)
+            return b"".join(values)
 
     def _read_piece(self, piece: Piece):
         path = self.paths[piece.disk]
@@ -134,16 +137,18 @@ class Raid0Controller(_BaseController):
 
     def write(self, offset: int, data: bytes):
         """Process: write a logical range."""
-        pieces = self.layout.map_data(offset, len(data))
-        view = memoryview(data)  # pieces are views; disks copy at poke
-        procs = []
-        for piece in pieces:
-            start = piece.logical_offset - offset
-            payload = view[start:start + piece.nbytes]
-            procs.append(self.sim.process(
-                self.paths[piece.disk].write(piece.lba, payload)))
-        yield self.sim.all_of(procs)
-        return None
+        with self.sim.tracer.span("raid.write", self.name,
+                                  nbytes=len(data), offset=offset):
+            pieces = self.layout.map_data(offset, len(data))
+            view = memoryview(data)  # pieces are views; disks copy at poke
+            procs = []
+            for piece in pieces:
+                start = piece.logical_offset - offset
+                payload = view[start:start + piece.nbytes]
+                procs.append(self.sim.process(
+                    self.paths[piece.disk].write(piece.lba, payload)))
+            yield self.sim.all_of(procs)
+            return None
 
 
 class Raid1Controller(_BaseController):
@@ -178,22 +183,25 @@ class Raid1Controller(_BaseController):
 
     def write(self, offset: int, data: bytes):
         """Process: write both copies of every piece in parallel."""
-        pieces = self.layout.map_data(offset, len(data))
-        view = memoryview(data)  # pieces are views; disks copy at poke
-        procs = []
-        for piece in pieces:
-            start = piece.logical_offset - offset
-            payload = view[start:start + piece.nbytes]
-            for disk in (piece.disk, self._layout1.mirror_of(piece.disk)):
-                if self.paths[disk].disk.failed:
-                    continue
-                procs.append(self.sim.process(
-                    self.paths[disk].write(piece.lba, payload)))
-        if not procs:
-            raise UnrecoverableArrayError(
-                f"{self.name}: no surviving copy to write")
-        yield self.sim.all_of(procs)
-        return None
+        with self.sim.tracer.span("raid.write", self.name,
+                                  nbytes=len(data), offset=offset):
+            pieces = self.layout.map_data(offset, len(data))
+            view = memoryview(data)  # pieces are views; disks copy at poke
+            procs = []
+            for piece in pieces:
+                start = piece.logical_offset - offset
+                payload = view[start:start + piece.nbytes]
+                for disk in (piece.disk,
+                             self._layout1.mirror_of(piece.disk)):
+                    if self.paths[disk].disk.failed:
+                        continue
+                    procs.append(self.sim.process(
+                        self.paths[disk].write(piece.lba, payload)))
+            if not procs:
+                raise UnrecoverableArrayError(
+                    f"{self.name}: no surviving copy to write")
+            yield self.sim.all_of(procs)
+            return None
 
     def rebuild(self, disk_index: int, max_rows: Optional[int] = None):
         """Process: copy a replacement disk's contents from its mirror."""
@@ -203,12 +211,14 @@ class Raid1Controller(_BaseController):
                 f"{self.name}: mirror of disk {disk_index} also failed")
         rows = self.layout.rows if max_rows is None else min(
             self.layout.rows, max_rows)
-        for row in range(rows):
-            lba = self.layout.row_lba(row)
-            data = yield from self.paths[source].read(
-                lba, self.layout.unit_sectors)
-            yield from self.paths[disk_index].write(lba, data)
-        return None
+        with self.sim.tracer.span("raid.rebuild", self.name,
+                                  disk=disk_index, rows=rows):
+            for row in range(rows):
+                lba = self.layout.row_lba(row)
+                data = yield from self.paths[source].read(
+                    lba, self.layout.unit_sectors)
+                yield from self.paths[disk_index].write(lba, data)
+            return None
 
 
 class Raid5Controller(_BaseController):
@@ -308,18 +318,21 @@ class Raid5Controller(_BaseController):
     # ------------------------------------------------------------------
     def write(self, offset: int, data: bytes):
         """Process: write a logical range with parity maintenance."""
-        pieces = self.layout.map_data(offset, len(data))
-        data = memoryview(data)  # sliced (never copied) on the way down
-        by_row: dict[int, list[Piece]] = {}
-        for piece in pieces:
-            by_row.setdefault(piece.row, []).append(piece)
-        procs = [
-            self.sim.process(self._write_row(row, row_pieces, offset, data),
-                             name=f"{self.name}.row{row}.write")
-            for row, row_pieces in by_row.items()
-        ]
-        yield self.sim.all_of(procs)
-        return None
+        with self.sim.tracer.span("raid.write", self.name,
+                                  nbytes=len(data), offset=offset):
+            pieces = self.layout.map_data(offset, len(data))
+            data = memoryview(data)  # sliced (never copied) on the way down
+            by_row: dict[int, list[Piece]] = {}
+            for piece in pieces:
+                by_row.setdefault(piece.row, []).append(piece)
+            procs = [
+                self.sim.process(
+                    self._write_row(row, row_pieces, offset, data),
+                    name=f"{self.name}.row{row}.write")
+                for row, row_pieces in by_row.items()
+            ]
+            yield self.sim.all_of(procs)
+            return None
 
     def _payload_of(self, piece: Piece, offset: int,
                     data: memoryview) -> memoryview:
@@ -328,19 +341,23 @@ class Raid5Controller(_BaseController):
 
     def _write_row(self, row: int, pieces: list[Piece], offset: int,
                    data: bytes):
-        lock = self._row_lock(row)
-        yield lock.acquire()
-        try:
-            row_bytes = (self.layout.data_units_per_row
-                         * self.layout.stripe_unit_bytes)
-            covered = sum(piece.nbytes for piece in pieces)
-            if covered == row_bytes:
-                yield from self._full_stripe_write(row, pieces, offset, data)
-            else:
-                yield from self._partial_write(row, pieces, offset, data)
-        finally:
-            lock.release()
-        return None
+        covered = sum(piece.nbytes for piece in pieces)
+        with self.sim.tracer.span("raid.write_row", self.name,
+                                  nbytes=covered, row=row) as span:
+            lock = self._row_lock(row)
+            yield lock.acquire()
+            try:
+                row_bytes = (self.layout.data_units_per_row
+                             * self.layout.stripe_unit_bytes)
+                if covered == row_bytes:
+                    span.set(strategy="full_stripe")
+                    yield from self._full_stripe_write(row, pieces, offset,
+                                                       data)
+                else:
+                    yield from self._partial_write(row, pieces, offset, data)
+            finally:
+                lock.release()
+            return None
 
     def _write_with_parity(self, data_writes, parity_disk: int,
                            parity_lba: int, parity_blocks):
@@ -594,21 +611,24 @@ class Raid5Controller(_BaseController):
         nsectors = self.layout.unit_sectors
         self._rebuild_frontier[disk_index] = 0
         try:
-            for row in range(rows):
-                lock = self._row_lock(row)
-                yield lock.acquire()
-                try:
-                    others = self._surviving(self._row_disks(row),
-                                             disk_index, row)
-                    lba = self.layout.row_lba(row)
-                    procs = [self.sim.process(
-                        self.paths[d].read(lba, nsectors)) for d in others]
-                    blocks = yield self.sim.all_of(procs)
-                    unit = yield from self.parity.compute(blocks)
-                    yield from self.paths[disk_index].write(lba, unit)
-                    self._rebuild_frontier[disk_index] = row + 1
-                finally:
-                    lock.release()
+            with self.sim.tracer.span("raid.rebuild", self.name,
+                                      disk=disk_index, rows=rows):
+                for row in range(rows):
+                    lock = self._row_lock(row)
+                    yield lock.acquire()
+                    try:
+                        others = self._surviving(self._row_disks(row),
+                                                 disk_index, row)
+                        lba = self.layout.row_lba(row)
+                        procs = [self.sim.process(
+                            self.paths[d].read(lba, nsectors))
+                            for d in others]
+                        blocks = yield self.sim.all_of(procs)
+                        unit = yield from self.parity.compute(blocks)
+                        yield from self.paths[disk_index].write(lba, unit)
+                        self._rebuild_frontier[disk_index] = row + 1
+                    finally:
+                        lock.release()
         finally:
             # Rows past max_rows (when bounded) remain untrusted only
             # for the duration of the call; a bounded rebuild is a test
@@ -701,46 +721,50 @@ class Raid3Controller(_BaseController):
     def read(self, offset: int, nbytes: int):
         """Process: read a logical range (whole rows, one I/O at a time)."""
         self.layout.check_range(offset, nbytes)
-        yield self._array_lock.acquire()
-        try:
-            first, last = self._row_span(offset, nbytes)
-            buffers = yield from self._read_rows(first, last)
-            logical = self._interleave(buffers)
-            start = offset - first * self.row_bytes
-            return logical[start:start + nbytes]
-        finally:
-            self._array_lock.release()
+        with self.sim.tracer.span("raid.read", self.name, nbytes=nbytes,
+                                  offset=offset):
+            yield self._array_lock.acquire()
+            try:
+                first, last = self._row_span(offset, nbytes)
+                buffers = yield from self._read_rows(first, last)
+                logical = self._interleave(buffers)
+                start = offset - first * self.row_bytes
+                return logical[start:start + nbytes]
+            finally:
+                self._array_lock.release()
 
     def write(self, offset: int, data: bytes):
         """Process: write a logical range with whole-row parity."""
         self.layout.check_range(offset, len(data))
-        yield self._array_lock.acquire()
-        try:
-            first, last = self._row_span(offset, len(data))
-            span_bytes = (last - first + 1) * self.row_bytes
-            start = offset - first * self.row_bytes
-            aligned = start == 0 and len(data) == span_bytes
-            if aligned:
-                logical = data
-            else:
-                old_buffers = yield from self._read_rows(first, last)
-                image = bytearray(self._interleave(old_buffers))
-                image[start:start + len(data)] = data
-                logical = image  # deinterleave reads it in place
-            ndisks = self.layout.data_units_per_row
-            buffers = self._deinterleave(logical, ndisks)
-            parity = yield from self.parity.compute(buffers)
-            procs = [
-                self.sim.process(self.paths[d].write(first, buffers[d]))
-                for d in range(ndisks)
-            ]
-            parity_disk = self._layout3.parity_disk(0)
-            procs.append(self.sim.process(
-                self.paths[parity_disk].write(first, parity)))
-            yield self.sim.all_of(procs)
-            return None
-        finally:
-            self._array_lock.release()
+        with self.sim.tracer.span("raid.write", self.name,
+                                  nbytes=len(data), offset=offset):
+            yield self._array_lock.acquire()
+            try:
+                first, last = self._row_span(offset, len(data))
+                span_bytes = (last - first + 1) * self.row_bytes
+                start = offset - first * self.row_bytes
+                aligned = start == 0 and len(data) == span_bytes
+                if aligned:
+                    logical = data
+                else:
+                    old_buffers = yield from self._read_rows(first, last)
+                    image = bytearray(self._interleave(old_buffers))
+                    image[start:start + len(data)] = data
+                    logical = image  # deinterleave reads it in place
+                ndisks = self.layout.data_units_per_row
+                buffers = self._deinterleave(logical, ndisks)
+                parity = yield from self.parity.compute(buffers)
+                procs = [
+                    self.sim.process(self.paths[d].write(first, buffers[d]))
+                    for d in range(ndisks)
+                ]
+                parity_disk = self._layout3.parity_disk(0)
+                procs.append(self.sim.process(
+                    self.paths[parity_disk].write(first, parity)))
+                yield self.sim.all_of(procs)
+                return None
+            finally:
+                self._array_lock.release()
 
     def verify_parity(self, max_rows: Optional[int] = None) -> bool:
         """Instant check of the dedicated parity disk."""

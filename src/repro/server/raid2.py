@@ -143,12 +143,14 @@ class Raid2Server:
         """
         board = self.boards[board_index]
         raid = self.raids[board_index]
-        legs = [
-            self.sim.process(raid.read(offset, nbytes)),
-            self.sim.process(board.hippi_loopback(nbytes)),
-        ]
-        yield self.sim.all_of(legs)
-        return None
+        with self.sim.tracer.span("server.hw_read", self.name,
+                                  nbytes=nbytes):
+            legs = [
+                self.sim.process(raid.read(offset, nbytes)),
+                self.sim.process(board.hippi_loopback(nbytes)),
+            ]
+            yield self.sim.all_of(legs)
+            return None
 
     def hw_write(self, offset: int, nbytes: int, board_index: int = 0,
                  fill: int = 0x5A):
@@ -159,12 +161,14 @@ class Raid2Server:
         board = self.boards[board_index]
         raid = self.raids[board_index]
         payload = bytes([fill]) * nbytes
-        legs = [
-            self.sim.process(board.hippi_loopback(nbytes)),
-            self.sim.process(raid.write(offset, payload)),
-        ]
-        yield self.sim.all_of(legs)
-        return None
+        with self.sim.tracer.span("server.hw_write", self.name,
+                                  nbytes=nbytes):
+            legs = [
+                self.sim.process(board.hippi_loopback(nbytes)),
+                self.sim.process(raid.write(offset, payload)),
+            ]
+            yield self.sim.all_of(legs)
+            return None
 
     def hw_read_through_host(self, offset: int, nbytes: int,
                              board_index: int = 0):
@@ -177,15 +181,17 @@ class Raid2Server:
         """
         raid = self.raids[board_index]
         board = self.boards[board_index]
-        for position, take in _chunks(offset, nbytes):
-            yield from raid.read(position, take)
-            legs = [
-                self.sim.process(board.to_host(take)),
-                self.sim.process(self.host.dma_in(take)),
-            ]
-            yield self.sim.all_of(legs)
-            yield from self.host.copy(take)
-        return None
+        with self.sim.tracer.span("server.hw_read_through_host", self.name,
+                                  nbytes=nbytes):
+            for position, take in _chunks(offset, nbytes):
+                yield from raid.read(position, take)
+                legs = [
+                    self.sim.process(board.to_host(take)),
+                    self.sim.process(self.host.dma_in(take)),
+                ]
+                yield self.sim.all_of(legs)
+                yield from self.host.copy(take)
+            return None
 
     # ------------------------------------------------------------------
     # high-bandwidth mode (Ultranet / HIPPI clients)
@@ -201,20 +207,22 @@ class Raid2Server:
         copy-bound network stack, this pins single-client reads around
         3 MB/s, as measured.
         """
-        yield from link.rpc()
-        data = yield from self.fs.read(path, offset, nbytes)
-        for position, take in _chunks(0, len(data)):
-            yield self.host.cpu.acquire()  # polling driver
-            try:
-                legs = [
-                    self.sim.process(self.board.send_hippi(take)),
-                    self.sim.process(link.data(take)),
-                    self.sim.process(client.memory.transfer(3 * take)),
-                ]
-                yield self.sim.all_of(legs)
-            finally:
-                self.host.cpu.release()
-        return data
+        with self.sim.tracer.span("server.client_read", self.name,
+                                  nbytes=nbytes, path=path):
+            yield from link.rpc()
+            data = yield from self.fs.read(path, offset, nbytes)
+            for position, take in _chunks(0, len(data)):
+                yield self.host.cpu.acquire()  # polling driver
+                try:
+                    legs = [
+                        self.sim.process(self.board.send_hippi(take)),
+                        self.sim.process(link.data(take)),
+                        self.sim.process(client.memory.transfer(3 * take)),
+                    ]
+                    yield self.sim.all_of(legs)
+                finally:
+                    self.host.cpu.release()
+            return data
 
     def client_write(self, client: Workstation, link: UltranetLink,
                      path: str, offset: int, data: bytes):
@@ -224,25 +232,28 @@ class Raid2Server:
         passes per byte (the copies that limit a SPARCstation 10/51 to
         ~3.1 MB/s); host CPU use is near zero (Section 3.4).
         """
-        yield from link.rpc()
-        pending_write = None
-        for position, take in _chunks(0, len(data)):
-            legs = [
-                self.sim.process(client.memory.transfer(3 * take)),
-                self.sim.process(link.data(take)),
-                self.sim.process(self.board.receive_hippi(take)),
-            ]
-            yield self.sim.all_of(legs)
+        with self.sim.tracer.span("server.client_write", self.name,
+                                  nbytes=len(data), path=path):
+            yield from link.rpc()
+            pending_write = None
+            for position, take in _chunks(0, len(data)):
+                legs = [
+                    self.sim.process(client.memory.transfer(3 * take)),
+                    self.sim.process(link.data(take)),
+                    self.sim.process(self.board.receive_hippi(take)),
+                ]
+                yield self.sim.all_of(legs)
+                if pending_write is not None:
+                    yield pending_write
+                # The file-system work for this chunk overlaps the
+                # network legs of the next one (LFS ops themselves
+                # serialize on the host, so at most one is in flight).
+                pending_write = self.sim.process(self.fs.write(
+                    path, offset + position,
+                    data[position:position + take]))
             if pending_write is not None:
                 yield pending_write
-            # The file-system work for this chunk overlaps the network
-            # legs of the next one (LFS ops themselves serialize on the
-            # host, so at most one is in flight).
-            pending_write = self.sim.process(self.fs.write(
-                path, offset + position, data[position:position + take]))
-        if pending_write is not None:
-            yield pending_write
-        return None
+            return None
 
     # ------------------------------------------------------------------
     # standard mode (Ethernet clients)
@@ -255,20 +266,23 @@ class Raid2Server:
         Ranges already sitting in the host's LRU file cache skip the
         array and the control port entirely (Section 3.2).
         """
-        yield from self.host.handle_io()
-        cached = self.host_cache.get((path, offset, nbytes))
-        if cached is not None:
-            yield from self.ethernet.send(len(cached))
-            return cached
-        data = yield from self.fs.read(path, offset, nbytes)
-        legs = [
-            self.sim.process(self.board.to_host(len(data))),
-            self.sim.process(self.host.dma_in(len(data))),
-        ]
-        yield self.sim.all_of(legs)
-        self.host_cache.put((path, offset, nbytes), data)
-        yield from self.ethernet.send(len(data))
-        return data
+        with self.sim.tracer.span("server.ethernet_read", self.name,
+                                  nbytes=nbytes, path=path) as span:
+            yield from self.host.handle_io()
+            cached = self.host_cache.get((path, offset, nbytes))
+            if cached is not None:
+                span.set(cache="hit")
+                yield from self.ethernet.send(len(cached))
+                return cached
+            data = yield from self.fs.read(path, offset, nbytes)
+            legs = [
+                self.sim.process(self.board.to_host(len(data))),
+                self.sim.process(self.host.dma_in(len(data))),
+            ]
+            yield self.sim.all_of(legs)
+            self.host_cache.put((path, offset, nbytes), data)
+            yield from self.ethernet.send(len(data))
+            return data
 
     def ethernet_write(self, path: str, offset: int, data: bytes):
         """Process: an NFS-style write over the Ethernet.
@@ -277,16 +291,18 @@ class Raid2Server:
         is dropped ("the file system keeps the two caches consistent",
         Section 3.2).
         """
-        yield from self.host.handle_io()
-        yield from self.ethernet.send(len(data))
-        legs = [
-            self.sim.process(self.host.dma_out(len(data))),
-            self.sim.process(self.board.from_host(len(data))),
-        ]
-        yield self.sim.all_of(legs)
-        self.host_cache.invalidate_where(lambda key: key[0] == path)
-        yield from self.fs.write(path, offset, data)
-        return None
+        with self.sim.tracer.span("server.ethernet_write", self.name,
+                                  nbytes=len(data), path=path):
+            yield from self.host.handle_io()
+            yield from self.ethernet.send(len(data))
+            legs = [
+                self.sim.process(self.host.dma_out(len(data))),
+                self.sim.process(self.board.from_host(len(data))),
+            ]
+            yield self.sim.all_of(legs)
+            self.host_cache.invalidate_where(lambda key: key[0] == path)
+            yield from self.fs.write(path, offset, data)
+            return None
 
 
 def make_sparcstation_client(sim: Simulator,

@@ -11,7 +11,8 @@ XBUS crossbar, networks, hosts) on top of these primitives.
 
 from repro.sim.core import AllOf, AnyOf, Event, Interrupt, Process, Simulator, Timeout
 from repro.sim.channel import BandwidthChannel
-from repro.sim.monitor import BusyMonitor, LatencyMonitor, ThroughputMeter
+from repro.sim.monitor import (BusyMonitor, LatencyMonitor, ThroughputMeter,
+                               ZeroWindow)
 from repro.sim.resources import PriorityResource, Resource, Store
 
 __all__ = [
@@ -29,4 +30,5 @@ __all__ = [
     "Store",
     "ThroughputMeter",
     "Timeout",
+    "ZeroWindow",
 ]

@@ -42,6 +42,7 @@ from itertools import count
 from typing import Any, Callable, Generator, Iterable, Optional
 
 from repro.errors import SimulationError
+from repro.obs.session import observe_simulator
 
 _UNSET = object()
 
@@ -346,6 +347,12 @@ class Simulator:
         self._heap: list[tuple[float, int, int, Any]] = []
         self._seq = count()
         self._crashed: Optional[BaseException] = None
+        # Observability (DESIGN.md §8): tracer defaults to the shared
+        # NULL_TRACER unless an observe() session is active; swapping
+        # in a live repro.obs.Tracer at any time enables span capture
+        # for processes spawned from then on.  Both observe and never
+        # schedule — neither may consume sequence numbers.
+        self.tracer, self.metrics = observe_simulator(self)
 
     # -- factories --------------------------------------------------------
     def event(self) -> Event:
@@ -371,6 +378,14 @@ class Simulator:
         return timeout
 
     def process(self, generator: SimGenerator, name: str = "") -> Process:
+        tracer = self.tracer
+        if tracer.enabled:
+            # Resolve the display name from the original generator
+            # before wrapping: the determinism fingerprint includes
+            # process names, which must not change with tracing on.
+            if not name:
+                name = getattr(generator, "__name__", "process")
+            generator = tracer.scoped(generator)
         return Process(self, generator, name=name)
 
     def all_of(self, events: Iterable[Event]) -> AllOf:

@@ -1,4 +1,14 @@
-"""Measurement helpers: throughput meters, latency and busy-time stats."""
+"""Measurement helpers: throughput meters, latency and busy-time stats.
+
+Since the observability PR these classes are thin shims over the
+per-simulator :class:`repro.obs.MetricsRegistry` (``sim.metrics``):
+the values they accumulate live in registry counters/gauges/histograms
+and therefore appear in ``--metrics`` snapshots automatically, while
+the familiar meter API keeps working for experiments and tests.
+Anonymous meters get deterministic registry components
+(``throughput.1``, ``busy.2``...) so snapshots stay identical across
+identical runs.
+"""
 
 from __future__ import annotations
 
@@ -6,8 +16,28 @@ import math
 from typing import Optional
 
 from repro.errors import SimulationError
+from repro.obs.metrics import DEFAULT_LATENCY_BUCKETS, Histogram
 from repro.sim.core import Simulator
 from repro.units import MB
+
+#: Relative slack for busy-time accounting checks: utilization may
+#: exceed 1.0 by at most this much before it is treated as a bug.
+UTILIZATION_TOLERANCE = 1e-9
+
+
+class ZeroWindow(float):
+    """A 0.0 rate reported because the measured window had no width.
+
+    Compares and computes exactly like ``0.0``, so callers that only
+    do arithmetic keep working, while callers that care can
+    ``isinstance``-check why the rate is zero instead of crashing (or
+    meeting ``float('inf')``).
+    """
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "ZeroWindow(0.0)"
 
 
 class ThroughputMeter:
@@ -16,20 +46,37 @@ class ThroughputMeter:
     def __init__(self, sim: Simulator, name: str = ""):
         self.sim = sim
         self.name = name
-        self.bytes_done = 0
-        self.ops_done = 0
+        component = name or sim.metrics.unique_component("throughput")
+        self._bytes = sim.metrics.counter(component, "bytes_done", unit="B")
+        self._ops = sim.metrics.counter(component, "ops_done", unit="ops")
         self._start: Optional[float] = None
         self._end: Optional[float] = None
+        self._last_duration: Optional[float] = None
+
+    @property
+    def bytes_done(self) -> int:
+        return self._bytes.value
+
+    @property
+    def ops_done(self) -> int:
+        return self._ops.value
 
     def start(self) -> None:
         self._start = self.sim.now
 
-    def record(self, nbytes: int) -> None:
+    def record(self, nbytes: int, duration: Optional[float] = None) -> None:
+        """Count one completed operation of ``nbytes``.
+
+        ``duration`` (the operation's own service time) is optional;
+        when given it lets the meter report a meaningful rate even for
+        a single-record window, whose elapsed time is zero.
+        """
         if self._start is None:
             self.start()
-        self.bytes_done += nbytes
-        self.ops_done += 1
+        self._bytes.inc(nbytes)
+        self._ops.inc(1)
         self._end = self.sim.now
+        self._last_duration = duration
 
     @property
     def elapsed(self) -> float:
@@ -37,32 +84,60 @@ class ThroughputMeter:
             raise SimulationError("meter has not recorded anything")
         return self._end - self._start
 
+    def _window(self) -> float:
+        """The rate denominator: the measured window when it has width,
+        falling back to the last operation's own duration.  Returns 0.0
+        when neither exists — the callers then report ZeroWindow rather
+        than raising or dividing."""
+        elapsed = self.elapsed
+        if elapsed > 0:
+            return elapsed
+        if self._last_duration is not None and self._last_duration > 0:
+            return self._last_duration
+        return 0.0
+
     @property
     def mb_per_s(self) -> float:
-        elapsed = self.elapsed
-        if elapsed <= 0:
-            raise SimulationError("no elapsed time recorded")
-        return self.bytes_done / MB / elapsed
+        window = self._window()
+        if window <= 0:
+            return ZeroWindow()
+        return self._bytes.value / MB / window
 
     @property
     def ios_per_s(self) -> float:
-        elapsed = self.elapsed
-        if elapsed <= 0:
-            raise SimulationError("no elapsed time recorded")
-        return self.ops_done / elapsed
+        window = self._window()
+        if window <= 0:
+            return ZeroWindow()
+        return self._ops.value / window
 
 
 class LatencyMonitor:
-    """Collects per-operation latencies and reports summary statistics."""
+    """Collects per-operation latencies and reports summary statistics.
 
-    def __init__(self, name: str = ""):
+    Keeps the raw samples (exact nearest-rank percentiles need them)
+    and mirrors every observation into a fixed-bucket histogram — the
+    registry's when a ``sim`` is given, a standalone one otherwise.
+    """
+
+    def __init__(self, name: str = "", sim: Optional[Simulator] = None,
+                 buckets: tuple = DEFAULT_LATENCY_BUCKETS):
         self.name = name
+        if sim is not None:
+            component = name or sim.metrics.unique_component("latency")
+            self.histogram = sim.metrics.histogram(component, "latency",
+                                                   buckets=buckets)
+        else:
+            self.histogram = Histogram(name or "latency", "latency",
+                                       buckets=buckets)
         self.samples: list[float] = []
 
     def record(self, latency: float) -> None:
         if latency < 0:
             raise SimulationError(f"negative latency: {latency!r}")
         self.samples.append(latency)
+        # Histogram.observe is a plain method; it merely shares its
+        # name with the obs session generator.
+        self.histogram.observe(latency)  # lint: disable=SIM001
 
     def __len__(self) -> int:
         return len(self.samples)
@@ -98,9 +173,14 @@ class BusyMonitor:
     def __init__(self, sim: Simulator, name: str = ""):
         self.sim = sim
         self.name = name
-        self.busy_time = 0.0
+        component = name or sim.metrics.unique_component("busy")
+        self._gauge = sim.metrics.gauge(component, "busy_time", unit="s")
         self._busy_since: Optional[float] = None
         self._depth = 0
+
+    @property
+    def busy_time(self) -> float:
+        return self._gauge.value
 
     def enter(self) -> None:
         if self._depth == 0:
@@ -113,13 +193,21 @@ class BusyMonitor:
         self._depth -= 1
         if self._depth == 0:
             assert self._busy_since is not None
-            self.busy_time += self.sim.now - self._busy_since
+            self._gauge.add(self.sim.now - self._busy_since)
             self._busy_since = None
 
     def utilization(self, elapsed: float) -> float:
         if elapsed <= 0:
             raise SimulationError("elapsed must be positive")
-        busy = self.busy_time
+        busy = self._gauge.value
         if self._busy_since is not None:
             busy += self.sim.now - self._busy_since
-        return min(1.0, busy / elapsed)
+        raw = busy / elapsed
+        if raw > 1.0 + UTILIZATION_TOLERANCE:
+            # A component cannot be busy for longer than the window:
+            # this is an enter/exit accounting bug, not a measurement,
+            # and silently clamping it would hide the corruption.
+            raise SimulationError(
+                f"BusyMonitor {self.name!r} utilization {raw:.9f} exceeds "
+                "1.0: busy intervals overlap or exit() accounting is wrong")
+        return min(1.0, raw)

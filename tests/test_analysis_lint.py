@@ -17,7 +17,7 @@ def codes(snippet: str):
 
 def test_rules_are_registered():
     registered = {cls.code for cls in all_rules()}
-    assert {"SIM001", "SIM002", "SIM003", "SIM004",
+    assert {"SIM001", "SIM002", "SIM003", "SIM004", "SIM005",
             "UNIT001", "UNIT002"} <= registered
 
 
@@ -304,6 +304,72 @@ def test_sim004_pragma_allowlists_durability_boundary():
             yield view
             chunk = bytes(view)  # lint: disable=SIM004
             return chunk
+    """) == []
+
+
+# ---------------------------------------------------------------------------
+# SIM005: spans must be context-managed
+# ---------------------------------------------------------------------------
+
+def test_sim005_bare_span_call_flagged():
+    found = run_hot("""
+        def body(self, nbytes):
+            self.sim.tracer.span("disk.read", "d0", nbytes=nbytes)
+            yield nbytes
+    """)
+    assert [f.code for f in found] == ["SIM005"]
+    assert "with" in found[0].message
+
+
+def test_sim005_span_assigned_to_variable_flagged():
+    # Holding the handle without entering it never sets the end time.
+    found = run_hot("""
+        def body(tracer):
+            handle = tracer.span("scsi.transfer", "s0")
+            yield 1
+    """, path="src/repro/server/mod.py")
+    assert [f.code for f in found] == ["SIM005"]
+
+
+def test_sim005_with_statement_is_clean():
+    assert run_hot("""
+        def body(self, nbytes):
+            with self.sim.tracer.span("disk.read", "d0") as span:
+                span.set(nbytes=nbytes)
+                yield nbytes
+    """) == []
+
+
+def test_sim005_only_simulation_processes_checked():
+    # Plain helpers (no yield) are outside the kernel's span scoping.
+    assert run_hot("""
+        def helper(tracer):
+            return tracer.span("disk.read", "d0")
+    """) == []
+
+
+def test_sim005_ignores_code_outside_instrumented_dirs():
+    assert run_hot("""
+        def body(tracer):
+            tracer.span("x", "y")
+            yield 1
+    """, path="src/repro/experiments/mod.py") == []
+
+
+def test_sim005_other_span_methods_not_flagged():
+    # A .span attribute on something that is not a tracer is fine.
+    assert run_hot("""
+        def body(layout):
+            layout.span(3)
+            yield 1
+    """) == []
+
+
+def test_sim005_pragma_suppresses():
+    assert run_hot("""
+        def body(tracer):
+            tracer.span("disk.read", "d0")  # lint: disable=SIM005
+            yield 1
     """) == []
 
 

@@ -63,6 +63,26 @@ def test_table2_trace_identical_across_fresh_simulators():
     _assert_identical_twice(lambda: table2._raid2_rate(4, 6, 42))
 
 
+def test_tracing_leaves_fingerprint_bit_identical():
+    # Observation must never schedule: the heappush fingerprint of a
+    # traced run (spans + metrics active) is bit-identical to the
+    # plain run's, down to event kinds, times and process names.
+    from repro.experiments import fig5_hw_throughput as fig5
+    from repro.obs import observe
+
+    def plain():
+        return fig5._measure("read", 256 * KIB, 4, 101)
+
+    def traced():
+        with observe(trace=True):
+            return fig5._measure("read", 256 * KIB, 4, 101)
+
+    result_plain, trace_plain = _traced(plain)
+    result_traced, trace_traced = _traced(traced)
+    assert result_traced == result_plain
+    assert trace_traced == trace_plain
+
+
 def test_trace_captures_every_scheduling_kind():
     # Sanity-check the harness itself: a workload with timeouts,
     # process starts and interrupts must show all three entry kinds,

@@ -42,6 +42,46 @@ def test_throughput_meter_autostarts_on_first_record():
     assert meter.elapsed == pytest.approx(1.0)
 
 
+def test_throughput_meter_zero_window_without_duration():
+    # A single record in a zero-width window has no rate to report:
+    # the meter answers a clear 0.0 (ZeroWindow), never float('inf').
+    from repro.sim.monitor import ZeroWindow
+
+    sim = Simulator()
+    meter = ThroughputMeter(sim)
+    meter.record(10 * MB)
+    assert meter.elapsed == 0.0
+    rate = meter.mb_per_s
+    assert isinstance(rate, ZeroWindow)
+    assert rate == 0.0
+    assert not (rate == float("inf"))
+    assert isinstance(meter.ios_per_s, ZeroWindow)
+
+
+def test_throughput_meter_zero_window_uses_op_duration():
+    # When the operation reports its own service time the meter can
+    # still produce a meaningful rate from a single record.
+    sim = Simulator()
+    meter = ThroughputMeter(sim)
+    meter.record(10 * MB, duration=2.0)
+    assert meter.elapsed == 0.0
+    assert meter.mb_per_s == pytest.approx(5.0)
+    assert meter.ios_per_s == pytest.approx(0.5)
+
+
+def test_throughput_meter_elapsed_window_wins_over_duration():
+    sim = Simulator()
+    meter = ThroughputMeter(sim)
+
+    def body():
+        meter.start()
+        yield sim.timeout(2.0)
+        meter.record(10 * MB, duration=0.5)
+
+    sim.run_process(body())
+    assert meter.mb_per_s == pytest.approx(5.0)
+
+
 def test_latency_monitor_stats():
     mon = LatencyMonitor()
     for value in (0.01, 0.03, 0.02, 0.04):
@@ -66,6 +106,17 @@ def test_latency_monitor_empty_rejected():
         _ = mon.mean
     with pytest.raises(SimulationError):
         mon.percentile(50)
+
+
+def test_latency_monitor_single_sample_percentiles():
+    # Nearest-rank on one sample: every percentile is that sample.
+    mon = LatencyMonitor()
+    mon.record(0.042)
+    assert mon.percentile(0) == pytest.approx(0.042)
+    assert mon.percentile(50) == pytest.approx(0.042)
+    assert mon.percentile(100) == pytest.approx(0.042)
+    assert mon.mean == pytest.approx(0.042)
+    assert mon.maximum == pytest.approx(0.042)
 
 
 def test_busy_monitor_tracks_utilization():
@@ -116,3 +167,22 @@ def test_busy_monitor_counts_open_interval():
 
     sim.run_process(body())
     assert mon.utilization(2.0) == pytest.approx(1.0)
+
+
+def test_busy_monitor_overfull_raises():
+    # busy_time greater than the elapsed window means the intervals
+    # overlap or exit() accounting went wrong; that is a bug, not a
+    # 100%-utilization reading, so it must raise — never clamp.
+    sim = Simulator()
+    mon = BusyMonitor(sim)
+
+    def body():
+        mon.enter()
+        yield sim.timeout(3.0)
+        mon.exit()
+
+    sim.run_process(body())
+    with pytest.raises(SimulationError, match="busy"):
+        mon.utilization(2.0)
+    # Float noise just above 1.0 is tolerated and reported as 1.0.
+    assert mon.utilization(3.0 * (1.0 - 1e-12)) == pytest.approx(1.0)
