@@ -23,6 +23,55 @@ class DiskFailedError(HardwareError):
         self.disk_name = disk_name
 
 
+class TransientDiskError(HardwareError):
+    """A retryable SCSI-level error (bus glitch, recovered command).
+
+    Raised by fault injection on a drive that is otherwise healthy; a
+    retry of the same operation is expected to succeed, so the Cougar
+    and RAID layers absorb these with retry-with-backoff policies.
+    """
+
+    def __init__(self, disk_name: str, op: str = "io"):
+        super().__init__(f"transient {op} error on disk {disk_name}")
+        self.disk_name = disk_name
+        self.op = op
+
+
+class MediumError(HardwareError):
+    """A latent sector error: the medium under ``lba`` is unreadable.
+
+    Unlike :class:`TransientDiskError` a retry does *not* help — the
+    sector stays bad until it is rewritten (drives remap on write).
+    The RAID layer reconstructs the data through redundancy and heals
+    the sector by writing the reconstruction back.
+    """
+
+    def __init__(self, disk_name: str, lba: int):
+        super().__init__(f"medium error on disk {disk_name} at lba {lba}")
+        self.disk_name = disk_name
+        self.lba = lba
+
+
+class OpTimeoutError(HardwareError):
+    """A controller-level per-operation timeout expired and every retry
+    allowed by the policy was exhausted."""
+
+
+class CrashPoint(ReproError):
+    """A scheduled simulated host crash fired.
+
+    Raised out of the in-flight device write by the fault-injection
+    machinery (see :mod:`repro.faults.crash`).  Carries a snapshot of
+    the durable media taken at the instant of the crash, so a test can
+    rebuild a fresh device stack from it, remount, and roll forward.
+    """
+
+    def __init__(self, message: str, snapshot=None, at_s: float = 0.0):
+        super().__init__(message)
+        self.snapshot = snapshot
+        self.at_s = at_s
+
+
 class RaidError(ReproError):
     """RAID-layer error (bad geometry, unrecoverable loss, ...)."""
 

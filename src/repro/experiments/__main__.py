@@ -20,10 +20,11 @@ from __future__ import annotations
 
 import sys
 
-from repro.experiments import (ablations, degraded_mode, fig5_hw_throughput,
-                               fig6_hippi_loopback, fig7_string_scaling,
-                               fig8_lfs_throughput, network_clients,
-                               raid1_baseline, recovery_time,
+from repro.experiments import (ablations, degraded_mode, fig5_degraded,
+                               fig5_hw_throughput, fig6_hippi_loopback,
+                               fig7_string_scaling, fig8_lfs_throughput,
+                               network_clients, raid1_baseline,
+                               rebuild_under_load, recovery_time,
                                table1_peak_sequential, table2_small_io,
                                vme_ports, zebra_scaling)
 from repro.obs import (chrome_trace_json, observe, render_layer_breakdown,
@@ -41,6 +42,8 @@ REGISTRY = {
     "netclient": network_clients.run,
     "recovery-time": recovery_time.run,
     "degraded-mode": degraded_mode.run,
+    "fig5-degraded": fig5_degraded.run,
+    "rebuild-under-load": rebuild_under_load.run,
     "zebra": zebra_scaling.run,
     "ablation-datapath": ablations.run_datapath,
     "ablation-lfs-vs-ffs": ablations.run_lfs_vs_ffs,

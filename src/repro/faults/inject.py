@@ -1,0 +1,201 @@
+"""The fault injector: the pull-side runtime of a :class:`FaultPlan`.
+
+Components carry a ``faults`` attribute (``None`` by default).  When an
+injector is attached, the hooks in :class:`~repro.hw.disk.DiskDrive`,
+:class:`~repro.hw.scsi.ScsiString`, :class:`~repro.hw.vme.VmePort` and
+:class:`~repro.hw.hippi.HippiPort` consult it at each operation:
+
+* :meth:`FaultInjector.on_disk_op` applies due disk events (death,
+  latent sector installation) and raises
+  :class:`~repro.errors.TransientDiskError` for due transient faults;
+* :meth:`FaultInjector.stall_delay` returns how long a link transfer
+  starting *now* must wait out a stall window (0.0 when none);
+* :meth:`FaultInjector.on_device_write` drives the
+  :class:`~repro.faults.plan.HostCrash` countdown for a
+  :class:`~repro.faults.crash.CrashableDevice`.
+
+The injector never schedules simulation events itself — consult-and-
+return keeps an armed plan deterministic and an empty plan invisible.
+Fault activity is exported through the simulator's metrics registry
+under the ``faults`` component.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import TransientDiskError
+from repro.faults.plan import (DiskDeath, FaultPlan, HostCrash,
+                               LatentSectorError, LinkStall, TransientFault)
+from repro.sim import Simulator
+from repro.units import SECTOR_SIZE
+
+
+class _TransientState:
+    """Mutable countdown for one :class:`TransientFault`."""
+
+    __slots__ = ("event", "remaining")
+
+    def __init__(self, event: TransientFault):
+        self.event = event
+        self.remaining = event.count
+
+
+class _CrashState:
+    """Mutable write countdown for the plan's :class:`HostCrash`."""
+
+    __slots__ = ("event", "seen")
+
+    def __init__(self, event: HostCrash):
+        self.event = event
+        self.seen = 0
+
+
+class FaultInjector:
+    """Executes a plan against the components it is attached to."""
+
+    def __init__(self, sim: Simulator, plan: Optional[FaultPlan] = None,
+                 component: str = "faults"):
+        self.sim = sim
+        self.plan = plan if plan is not None else FaultPlan()
+        self.component = component
+
+        self._deaths: dict[str, DiskDeath] = {}
+        for event in self.plan.select(DiskDeath):
+            self._deaths[event.disk] = event
+        self._transients: dict[str, list[_TransientState]] = {}
+        for event in self.plan.select(TransientFault):
+            self._transients.setdefault(event.disk, []).append(
+                _TransientState(event))
+        self._latents: dict[str, list[LatentSectorError]] = {}
+        for event in self.plan.select(LatentSectorError):
+            self._latents.setdefault(event.disk, []).append(event)
+        self._stalls: dict[str, list[LinkStall]] = {}
+        for event in self.plan.select(LinkStall):
+            self._stalls.setdefault(event.link, []).append(event)
+        crashes = self.plan.select(HostCrash)
+        self._crash: Optional[_CrashState] = (
+            _CrashState(crashes[0]) if crashes else None)
+        self.crashed = False
+        #: Every device-level write seen (the crash-sweep tests count a
+        #: clean run with an empty plan to enumerate crash points).
+        self.device_writes = 0
+
+        metrics = sim.metrics
+        self.m_disk_deaths = metrics.counter(component, "disk_deaths")
+        self.m_transient_errors = metrics.counter(component,
+                                                  "transient_errors")
+        self.m_latent_sectors = metrics.counter(component,
+                                                "latent_sector_errors")
+        self.m_link_stalls = metrics.counter(component, "link_stalls")
+        self.m_stall_seconds = metrics.counter(component, "stall_seconds",
+                                               unit="s")
+        self.m_host_crashes = metrics.counter(component, "host_crashes")
+
+    # ------------------------------------------------------------------
+    # attachment
+    # ------------------------------------------------------------------
+    def attach(self, *, disks=(), links=()) -> "FaultInjector":
+        """Point components' ``faults`` hooks at this injector."""
+        for disk in disks:
+            disk.faults = self
+        for link in links:
+            link.faults = self
+        return self
+
+    # ------------------------------------------------------------------
+    # hooks (called from the hardware layer)
+    # ------------------------------------------------------------------
+    def on_disk_op(self, disk, kind: str, lba: int, nsectors: int) -> None:
+        """Apply due events for one disk operation; may raise.
+
+        Called by :class:`~repro.hw.disk.DiskDrive` at the start of
+        every timed ``read``/``write`` (after the command slot is
+        acquired, so injected failures observe real service order).
+        """
+        now = self.sim.now
+        name = disk.name
+        death = self._deaths.get(name)
+        if death is not None and now >= death.at_s:
+            del self._deaths[name]
+            disk.fail()
+            self.m_disk_deaths.inc()
+        pending = self._latents.get(name)
+        if pending:
+            due = [event for event in pending if now >= event.at_s]
+            for event in due:
+                pending.remove(event)
+                disk.mark_bad(event.lba, event.nsectors)
+                self.m_latent_sectors.inc()
+        transients = self._transients.get(name)
+        if transients:
+            for state in transients:
+                if state.remaining > 0 and now >= state.event.at_s:
+                    state.remaining -= 1
+                    self.m_transient_errors.inc()
+                    raise TransientDiskError(name, kind)
+
+    def stall_delay(self, link_name: str) -> float:
+        """Seconds a transfer starting now must wait out stall windows."""
+        stalls = self._stalls.get(link_name)
+        if not stalls:
+            return 0.0
+        now = self.sim.now
+        delay = 0.0
+        for event in stalls:
+            if event.at_s <= now < event.at_s + event.duration_s:
+                delay = max(delay, event.at_s + event.duration_s - now)
+        if delay > 0.0:
+            self.m_link_stalls.inc()
+            self.m_stall_seconds.inc(delay)
+        return delay
+
+    def on_device_write(self, nbytes: int) -> Optional[int]:
+        """Advance the host-crash countdown for one device write.
+
+        Returns ``None`` to let the write through, or the number of
+        torn bytes (possibly 0) to land before the crash fires.
+        """
+        self.device_writes += 1
+        state = self._crash
+        if state is None or self.crashed:
+            return None
+        if self.sim.now < state.event.at_s:
+            return None
+        state.seen += 1
+        if state.seen < state.event.nth_write:
+            return None
+        self.crashed = True
+        self.m_host_crashes.inc()
+        torn = int(nbytes * state.event.torn_fraction)
+        torn -= torn % SECTOR_SIZE
+        return min(max(torn, 0), nbytes)
+
+
+# ----------------------------------------------------------------------
+# arming helpers
+# ----------------------------------------------------------------------
+def _as_injector(sim: Simulator, plan_or_injector) -> FaultInjector:
+    if isinstance(plan_or_injector, FaultInjector):
+        return plan_or_injector
+    return FaultInjector(sim, plan_or_injector)
+
+
+def attach_array(plan_or_injector, controller) -> FaultInjector:
+    """Arm a plan on a bare RAID controller (``DirectDiskPath`` arrays)."""
+    injector = _as_injector(controller.sim, plan_or_injector)
+    injector.attach(disks=[path.disk for path in controller.paths])
+    return injector
+
+
+def attach_server(plan_or_injector, server) -> FaultInjector:
+    """Arm a plan on every disk, string and network port of a server."""
+    injector = _as_injector(server.sim, plan_or_injector)
+    for board in server.boards:
+        for cougar in board.cougars:
+            for string in cougar.strings:
+                injector.attach(links=[string], disks=string.disks)
+        injector.attach(links=board.data_ports)
+        injector.attach(links=[board.control_port, board.hippi_source,
+                               board.hippi_dest])
+    return injector

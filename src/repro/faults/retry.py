@@ -1,0 +1,55 @@
+"""Retry-with-backoff and per-op timeout policies.
+
+One frozen :class:`RetryPolicy` parameterizes both healing layers:
+
+* the **Cougar controller** retries a whole disk-to-VME operation when
+  a leg fails with :class:`~repro.errors.TransientDiskError`, and — if
+  ``op_timeout_s`` is set — abandons an attempt that exceeds the
+  per-operation deadline (interrupting its in-flight legs) before
+  retrying;
+* the **RAID controllers** retry individual unit reads/writes on
+  transient errors and, once attempts are exhausted, fall back to
+  reconstruction through redundancy.
+
+With no faults injected a policy is inert: the retry loops run exactly
+one attempt and (with ``op_timeout_s`` unset) schedule no extra
+events, so the determinism fingerprint of a clean run is unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import SimulationError
+from repro.units import MS
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How a layer retries operations that fail transiently."""
+
+    #: Total attempts (first try included).
+    max_attempts: int = 4
+    #: Delay before the first retry; doubles (``backoff_factor``) after.
+    backoff_s: float = 2.0 * MS
+    backoff_factor: float = 2.0
+    #: Abandon an attempt running longer than this (None = no deadline).
+    op_timeout_s: Optional[float] = None
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise SimulationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.backoff_s < 0.0 or self.backoff_factor < 1.0:
+            raise SimulationError(
+                f"bad backoff: {self.backoff_s}s x{self.backoff_factor}")
+        if self.op_timeout_s is not None and self.op_timeout_s <= 0.0:
+            raise SimulationError(
+                f"op_timeout_s must be positive, got {self.op_timeout_s}")
+
+
+#: The default healing behaviour of the RAID layer: a few quick
+#: retries, then reconstruction.  No per-op deadline (deadlines are a
+#: Cougar-level concern, configured per server).
+DEFAULT_RETRY_POLICY = RetryPolicy()

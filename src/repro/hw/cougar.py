@@ -15,7 +15,10 @@ drive's buffer and the controller's FIFOs.
 
 from __future__ import annotations
 
-from repro.errors import HardwareError
+from typing import Optional
+
+from repro.errors import HardwareError, OpTimeoutError, TransientDiskError
+from repro.faults.retry import RetryPolicy
 from repro.hw.disk import DiskDrive
 from repro.hw.specs import (COUGAR_SPEC, SCSI_STRING_SPEC, CougarSpec,
                             ScsiStringSpec)
@@ -29,10 +32,15 @@ class CougarController:
 
     def __init__(self, sim: Simulator, spec: CougarSpec = COUGAR_SPEC,
                  string_spec: ScsiStringSpec = SCSI_STRING_SPEC,
-                 name: str = "cougar"):
+                 name: str = "cougar",
+                 retry: Optional[RetryPolicy] = None):
         self.sim = sim
         self.spec = spec
         self.name = name
+        #: Retry/deadline policy for whole disk-to-VME operations.
+        #: ``None`` (the default) disables controller-level retries —
+        #: the legs then run exactly as a policy-free build would.
+        self.retry = retry
         self.channel = BandwidthChannel(
             sim, rate_mb_s=spec.rate_mb_s,
             per_transfer_overhead=spec.per_transfer_overhead_s,
@@ -42,6 +50,10 @@ class CougarController:
             for index in range(spec.strings)
         ]
         self.contention_events = 0
+        self.retries = 0
+        self.op_timeouts = 0
+        self._m_retries = sim.metrics.counter(name, "retries")
+        self._m_op_timeouts = sim.metrics.counter(name, "op_timeouts")
         #: Operations currently in flight per string (indexed like
         #: ``strings``); used for the dual-string contention check.
         self._inflight = [0] * spec.strings
@@ -79,6 +91,61 @@ class CougarController:
             yield from self.channel.transfer(nbytes)
 
     # ------------------------------------------------------------------
+    # retry machinery
+    # ------------------------------------------------------------------
+    def _run_attempts(self, index: int, spawn_legs):
+        """Process: run ``spawn_legs()`` under the retry policy.
+
+        ``spawn_legs`` creates and returns the operation's concurrent
+        leg processes; the attempt's value is the ``all_of`` value list
+        in spawn order.  With no policy this is a plain join — same
+        events, same order, same fingerprint as a retry-free build.
+        """
+        policy = self.retry
+        self._inflight[index] += 1
+        try:
+            if policy is None:
+                values = yield self.sim.all_of(spawn_legs())
+                return values
+            backoff = policy.backoff_s
+            for attempt in range(1, policy.max_attempts + 1):
+                last = attempt == policy.max_attempts
+                try:
+                    values = yield from self._one_attempt(spawn_legs)
+                    return values
+                except TransientDiskError:
+                    self.retries += 1
+                    self._m_retries.inc()
+                    if last:
+                        raise
+                except OpTimeoutError:
+                    if last:
+                        raise
+                yield self.sim.timeout(backoff)
+                backoff *= policy.backoff_factor
+        finally:
+            self._inflight[index] -= 1
+
+    def _one_attempt(self, spawn_legs):
+        """Process: one attempt, abandoned at the policy's deadline."""
+        legs = spawn_legs()
+        joined = self.sim.all_of(legs)
+        if self.retry.op_timeout_s is None:
+            values = yield joined
+            return values
+        deadline = self.sim.timeout(self.retry.op_timeout_s)
+        yield self.sim.any_of([joined, deadline])
+        if joined.processed:
+            return joined.value
+        self.op_timeouts += 1
+        self._m_op_timeouts.inc()
+        for leg in legs:
+            if leg.is_alive:
+                leg.interrupt("cougar op timeout")
+        raise OpTimeoutError(
+            f"{self.name}: op exceeded {self.retry.op_timeout_s}s")
+
+    # ------------------------------------------------------------------
     def read(self, disk: DiskDrive, lba: int, nsectors: int):
         """Process: read from ``disk`` up through the controller.
 
@@ -90,41 +157,40 @@ class CougarController:
         string = self.string_of(disk)
         index = self.strings.index(string)
         nbytes = nsectors * SECTOR_SIZE
+
+        def spawn_legs():
+            read_proc = self.sim.process(disk.read(lba, nsectors),
+                                         name=f"{disk.name}.read")
+            string_proc = self.sim.process(string.transfer(nbytes),
+                                           name=f"{string.name}.xfer")
+            ctrl_proc = self.sim.process(
+                self._controller_transfer(string, nbytes),
+                name=f"{self.name}.xfer")
+            return [read_proc, string_proc, ctrl_proc]
+
         with self.sim.tracer.span("cougar.read", self.name, nbytes=nbytes):
             yield from self._dual_string_delay(string)
-            self._inflight[index] += 1
-            try:
-                read_proc = self.sim.process(disk.read(lba, nsectors),
-                                             name=f"{disk.name}.read")
-                string_proc = self.sim.process(string.transfer(nbytes),
-                                               name=f"{string.name}.xfer")
-                ctrl_proc = self.sim.process(
-                    self._controller_transfer(string, nbytes),
-                    name=f"{self.name}.xfer")
-                values = yield self.sim.all_of([read_proc, string_proc,
-                                                ctrl_proc])
-                return values[0]
-            finally:
-                self._inflight[index] -= 1
+            values = yield from self._run_attempts(index, spawn_legs)
+            return values[0]
 
     def write(self, disk: DiskDrive, lba: int, data: bytes):
         """Process: write ``data`` to ``disk`` down through the controller."""
         string = self.string_of(disk)
         index = self.strings.index(string)
+
+        def spawn_legs():
+            write_proc = self.sim.process(disk.write(lba, data),
+                                          name=f"{disk.name}.write")
+            string_proc = self.sim.process(
+                string.transfer(len(data), write=True),
+                name=f"{string.name}.xfer")
+            ctrl_proc = self.sim.process(
+                self._controller_transfer(string, len(data)),
+                name=f"{self.name}.xfer")
+            return [write_proc, string_proc, ctrl_proc]
+
         with self.sim.tracer.span("cougar.write", self.name,
                                   nbytes=len(data)):
             yield from self._dual_string_delay(string)
-            self._inflight[index] += 1
-            try:
-                write_proc = self.sim.process(disk.write(lba, data),
-                                              name=f"{disk.name}.write")
-                string_proc = self.sim.process(
-                    string.transfer(len(data), write=True),
-                    name=f"{string.name}.xfer")
-                ctrl_proc = self.sim.process(
-                    self._controller_transfer(string, len(data)),
-                    name=f"{self.name}.xfer")
-                yield self.sim.all_of([write_proc, string_proc, ctrl_proc])
-                return None
-            finally:
-                self._inflight[index] -= 1
+            yield from self._run_attempts(index, spawn_legs)
+            return None

@@ -25,7 +25,7 @@ from __future__ import annotations
 import math
 from typing import Optional
 
-from repro.errors import DiskFailedError, HardwareError
+from repro.errors import DiskFailedError, HardwareError, MediumError
 from repro.hw.specs import DiskSpec
 from repro.sim import BusyMonitor, Resource, Simulator
 from repro.units import MB, SECTOR_SIZE
@@ -47,6 +47,13 @@ class DiskDrive:
         #: sequential-access detection.
         self._last: Optional[tuple[str, int]] = None
         self.failed = False
+        #: Optional fault-injection hook (see repro.faults.inject);
+        #: consulted at the start of every timed operation.
+        self.faults = None
+        #: LBAs with latent sector errors: reads raise MediumError,
+        #: writes heal (drives remap bad sectors on write).
+        self._bad_sectors: set[int] = set()
+        self.media_errors = 0
         self.busy = BusyMonitor(sim, name=f"{name}.busy")
         self.reads = 0
         self.writes = 0
@@ -92,8 +99,25 @@ class DiskDrive:
         self.failed = False
         if wipe:
             self._store.clear()
+            self._bad_sectors.clear()
         self._last = None
         self._head_cylinder = 0
+
+    def mark_bad(self, lba: int, nsectors: int) -> None:
+        """Install a latent sector error over ``nsectors`` at ``lba``.
+
+        Reads overlapping the extent raise :class:`MediumError` until
+        the sectors are rewritten.
+        """
+        self._check_extent(lba, nsectors)
+        self._bad_sectors.update(range(lba, lba + nsectors))
+
+    def _check_medium(self, lba: int, nsectors: int) -> None:
+        bad = self._bad_sectors
+        if bad and not bad.isdisjoint(range(lba, lba + nsectors)):
+            self.media_errors += 1
+            first = min(s for s in range(lba, lba + nsectors) if s in bad)
+            raise MediumError(self.name, first)
 
     # ------------------------------------------------------------------
     # timed I/O (simulation processes)
@@ -106,8 +130,12 @@ class DiskDrive:
             yield self._slot.acquire()
             self.busy.enter()
             try:
+                faults = self.faults
+                if faults is not None:
+                    faults.on_disk_op(self, "read", lba, nsectors)
                 if self.failed:
                     raise DiskFailedError(self.name)
+                self._check_medium(lba, nsectors)
                 yield self.sim.timeout(
                     self._service_time("read", lba, nsectors))
                 self._last = ("read", lba + nsectors)
@@ -130,6 +158,9 @@ class DiskDrive:
             yield self._slot.acquire()
             self.busy.enter()
             try:
+                faults = self.faults
+                if faults is not None:
+                    faults.on_disk_op(self, "write", lba, nsectors)
                 if self.failed:
                     raise DiskFailedError(self.name)
                 yield self.sim.timeout(
@@ -197,6 +228,9 @@ class DiskDrive:
             chunk = bytes(  # lint: disable=SIM004
                 view[index * SECTOR_SIZE:(index + 1) * SECTOR_SIZE])
             store[lba + index] = chunk
+        if self._bad_sectors:
+            # Writing a latent-error sector remaps/heals it.
+            self._bad_sectors.difference_update(range(lba, lba + nsectors))
 
     def _check_extent(self, lba: int, nsectors: int) -> None:
         if nsectors <= 0:

@@ -26,6 +26,8 @@ class HippiPort:
         self.name = name
         self.channel = BandwidthChannel(
             sim, rate_mb_s=spec.port_rate_mb_s, name=f"{name}.port")
+        #: Optional fault-injection hook (see repro.faults.inject).
+        self.faults = None
         self.packets_sent = 0
 
     def send(self, nbytes: int, packets: int = 1):
@@ -41,6 +43,11 @@ class HippiPort:
             raise HardwareError(f"packets must be >= 1, got {packets}")
         with self.sim.tracer.span("hippi.send", self.name, nbytes=nbytes,
                                   packets=packets):
+            faults = self.faults
+            if faults is not None:
+                delay = faults.stall_delay(self.name)
+                if delay > 0.0:
+                    yield self.sim.timeout(delay)
             setup = packets * self.spec.packet_overhead_s
             yield self.sim.timeout(setup)
             yield from self.channel.transfer(nbytes)

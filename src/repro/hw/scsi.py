@@ -30,6 +30,8 @@ class ScsiString:
             per_transfer_overhead=spec.per_transfer_overhead_s,
             name=f"{name}.bus")
         self.disks: list[DiskDrive] = []
+        #: Optional fault-injection hook (see repro.faults.inject).
+        self.faults = None
         #: Number of transfers currently occupying or queued on the bus;
         #: the Cougar uses this for its dual-string contention check.
         self.active_transfers = 0
@@ -49,6 +51,11 @@ class ScsiString:
         try:
             with self.sim.tracer.span("scsi.transfer", self.name,
                                       nbytes=nbytes, write=write):
+                faults = self.faults
+                if faults is not None:
+                    delay = faults.stall_delay(self.name)
+                    if delay > 0.0:
+                        yield self.sim.timeout(delay)
                 if write:
                     # Same bus, slower effective rate: scale the byte
                     # count so the shared FIFO channel charges

@@ -38,6 +38,8 @@ class VmePort:
         self.spec = spec
         self.name = name
         self._lock = Resource(sim, capacity=1, name=f"{name}.lock")
+        #: Optional fault-injection hook (see repro.faults.inject).
+        self.faults = None
         self.bytes_moved = 0
         self.busy_time = 0.0
 
@@ -58,6 +60,13 @@ class VmePort:
                                   direction=direction.value):
             yield self._lock.acquire()
             try:
+                faults = self.faults
+                if faults is not None:
+                    # A stalled VME link holds the bus: the delay is
+                    # charged under the lock so queued transfers wait.
+                    delay = faults.stall_delay(self.name)
+                    if delay > 0.0:
+                        yield self.sim.timeout(delay)
                 duration = self.transfer_time(nbytes, direction)
                 yield self.sim.timeout(duration)
                 self.bytes_moved += nbytes

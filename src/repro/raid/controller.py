@@ -30,7 +30,9 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.errors import DiskFailedError, RaidError, UnrecoverableArrayError
+from repro.errors import (DiskFailedError, MediumError, RaidError,
+                          TransientDiskError, UnrecoverableArrayError)
+from repro.faults.retry import DEFAULT_RETRY_POLICY, RetryPolicy
 from repro.hw.parity import xor_blocks
 from repro.raid.layout import (Piece, Raid0Layout, Raid1Layout, Raid3Layout,
                                Raid5Layout, _StripedLayout)
@@ -67,7 +69,8 @@ class _BaseController:
     """Mapping, assembly and shared plumbing for all RAID levels."""
 
     def __init__(self, sim: Simulator, paths: Sequence, layout: _StripedLayout,
-                 name: str = "raid"):
+                 name: str = "raid",
+                 retry: Optional[RetryPolicy] = None):
         if len(paths) != layout.num_disks:
             raise RaidError(
                 f"layout expects {layout.num_disks} disks, got {len(paths)}")
@@ -75,6 +78,20 @@ class _BaseController:
         self.paths = list(paths)
         self.layout = layout
         self.name = name
+        #: Transient-error retry policy (None disables retries).
+        self.retry = retry
+        self.degraded_reads = 0
+        self.degraded_writes = 0
+        self.media_error_heals = 0
+        self.transient_retries = 0
+        metrics = sim.metrics
+        self._m_degraded_reads = metrics.counter(name, "degraded_reads")
+        self._m_degraded_writes = metrics.counter(name, "degraded_writes")
+        self._m_media_error_heals = metrics.counter(name,
+                                                    "media_error_heals")
+        self._m_transient_retries = metrics.counter(name,
+                                                    "transient_retries")
+        self._m_rebuilt_rows = metrics.counter(name, "rebuilt_rows")
 
     @property
     def capacity_bytes(self) -> int:
@@ -117,6 +134,63 @@ class _BaseController:
         yield  # pragma: no cover
 
     # ------------------------------------------------------------------
+    # retried unit I/O (shared by the redundant levels)
+    # ------------------------------------------------------------------
+    def _read_unit(self, disk: int, lba: int, nsectors: int):
+        """Process: one unit read, retrying transient errors.
+
+        Hard errors (``DiskFailedError``, ``MediumError``) propagate to
+        the caller, which routes them through redundancy.
+        """
+        policy = self.retry
+        if policy is None:
+            data = yield from self.paths[disk].read(lba, nsectors)
+            return data
+        backoff = policy.backoff_s
+        for attempt in range(1, policy.max_attempts + 1):
+            try:
+                data = yield from self.paths[disk].read(lba, nsectors)
+                return data
+            except TransientDiskError:
+                self.transient_retries += 1
+                self._m_transient_retries.inc()
+                if attempt == policy.max_attempts:
+                    raise
+            yield self.sim.timeout(backoff)
+            backoff *= policy.backoff_factor
+
+    def _data_write(self, disk: int, lba: int, payload,
+                    tolerate_failure: bool = True):
+        """Process: one unit write, retrying transient errors.
+
+        With ``tolerate_failure`` (the default) a dead disk swallows
+        the write — correct wherever redundancy covers the lost bytes
+        (parity computed over the *new* data, or a surviving mirror).
+        Rebuild writes pass ``False``: losing the replacement must
+        abort the rebuild, not silently complete it.
+        """
+        policy = self.retry
+        attempts = policy.max_attempts if policy is not None else 1
+        backoff = policy.backoff_s if policy is not None else 0.0
+        for attempt in range(1, attempts + 1):
+            try:
+                yield from self.paths[disk].write(lba, payload)
+                return None
+            except DiskFailedError:
+                if not tolerate_failure:
+                    raise
+                self.degraded_writes += 1
+                self._m_degraded_writes.inc()
+                return None
+            except TransientDiskError:
+                self.transient_retries += 1
+                self._m_transient_retries.inc()
+                if attempt == attempts:
+                    raise
+            yield self.sim.timeout(backoff)
+            backoff *= policy.backoff_factor
+
+    # ------------------------------------------------------------------
     # instantaneous verification helpers
     # ------------------------------------------------------------------
     def peek(self, offset: int, nbytes: int) -> bytes:
@@ -155,10 +229,11 @@ class Raid1Controller(_BaseController):
     """Mirrored striping; reads alternate between the two copies."""
 
     def __init__(self, sim: Simulator, paths: Sequence,
-                 stripe_unit_bytes: int, name: str = "raid1"):
+                 stripe_unit_bytes: int, name: str = "raid1",
+                 retry: Optional[RetryPolicy] = DEFAULT_RETRY_POLICY):
         capacity = min(path.disk.spec.capacity_bytes for path in paths)
         layout = Raid1Layout(len(paths), stripe_unit_bytes, capacity)
-        super().__init__(sim, paths, layout, name)
+        super().__init__(sim, paths, layout, name, retry=retry)
         self._layout1 = layout
         self._toggle = 0
 
@@ -178,7 +253,52 @@ class Raid1Controller(_BaseController):
 
     def _read_piece(self, piece: Piece):
         disk = self._pick_copy(piece.disk)
-        data = yield from self.paths[disk].read(piece.lba, piece.nsectors)
+        policy = self.retry
+        attempts = policy.max_attempts if policy is not None else 1
+        backoff = policy.backoff_s if policy is not None else 0.0
+        for attempt in range(1, attempts + 1):
+            try:
+                data = yield from self.paths[disk].read(piece.lba,
+                                                        piece.nsectors)
+                return data
+            except DiskFailedError:
+                data = yield from self._fallback_read(piece, disk)
+                return data
+            except MediumError:
+                data = yield from self._fallback_read(piece, disk,
+                                                      heal=True)
+                return data
+            except TransientDiskError:
+                self.transient_retries += 1
+                self._m_transient_retries.inc()
+                if attempt == attempts:
+                    data = yield from self._fallback_read(piece, disk)
+                    return data
+            yield self.sim.timeout(backoff)
+            backoff *= policy.backoff_factor
+
+    def _fallback_read(self, piece: Piece, bad_disk: int,
+                       heal: bool = False):
+        """Process: serve a piece from the other copy; heal on the way.
+
+        ``heal`` rewrites the bad copy's extent with the good bytes
+        (best-effort) after a medium error — the drive remaps the bad
+        sectors on write.
+        """
+        self.degraded_reads += 1
+        self._m_degraded_reads.inc()
+        other = self._layout1.mirror_of(bad_disk)
+        if self.paths[other].disk.failed:
+            raise UnrecoverableArrayError(
+                f"{self.name}: both copies of disk {piece.disk} failed")
+        data = yield from self._read_unit(other, piece.lba, piece.nsectors)
+        if heal and not self.paths[bad_disk].disk.failed:
+            try:
+                yield from self.paths[bad_disk].write(piece.lba, data)
+                self.media_error_heals += 1
+                self._m_media_error_heals.inc()
+            except (DiskFailedError, TransientDiskError):
+                pass
         return data
 
     def write(self, offset: int, data: bytes):
@@ -196,7 +316,7 @@ class Raid1Controller(_BaseController):
                     if self.paths[disk].disk.failed:
                         continue
                     procs.append(self.sim.process(
-                        self.paths[disk].write(piece.lba, payload)))
+                        self._data_write(disk, piece.lba, payload)))
             if not procs:
                 raise UnrecoverableArrayError(
                     f"{self.name}: no surviving copy to write")
@@ -215,9 +335,11 @@ class Raid1Controller(_BaseController):
                                   disk=disk_index, rows=rows):
             for row in range(rows):
                 lba = self.layout.row_lba(row)
-                data = yield from self.paths[source].read(
-                    lba, self.layout.unit_sectors)
-                yield from self.paths[disk_index].write(lba, data)
+                data = yield from self._read_unit(
+                    source, lba, self.layout.unit_sectors)
+                yield from self._data_write(disk_index, lba, data,
+                                            tolerate_failure=False)
+                self._m_rebuilt_rows.inc()
             return None
 
 
@@ -226,10 +348,11 @@ class Raid5Controller(_BaseController):
 
     def __init__(self, sim: Simulator, paths: Sequence,
                  stripe_unit_bytes: int, parity_computer=None,
-                 name: str = "raid5"):
+                 name: str = "raid5",
+                 retry: Optional[RetryPolicy] = DEFAULT_RETRY_POLICY):
         capacity = min(path.disk.spec.capacity_bytes for path in paths)
         layout = Raid5Layout(len(paths), stripe_unit_bytes, capacity)
-        super().__init__(sim, paths, layout, name)
+        super().__init__(sim, paths, layout, name, retry=retry)
         self._layout5 = layout
         self.parity = parity_computer if parity_computer is not None \
             else InstantParity()
@@ -242,7 +365,6 @@ class Raid5Controller(_BaseController):
         self.full_stripe_writes = 0
         self.rmw_writes = 0
         self.reconstruct_writes = 0
-        self.degraded_reads = 0
 
     # ------------------------------------------------------------------
     def _row_lock(self, row: int) -> Resource:
@@ -284,22 +406,54 @@ class Raid5Controller(_BaseController):
         if self._unavailable(piece.disk, piece.row):
             data = yield from self._degraded_read(piece)
             return data
-        try:
-            data = yield from self.paths[piece.disk].read(piece.lba,
-                                                          piece.nsectors)
-            return data
-        except DiskFailedError:
-            data = yield from self._degraded_read(piece)
-            return data
+        policy = self.retry
+        attempts = policy.max_attempts if policy is not None else 1
+        backoff = policy.backoff_s if policy is not None else 0.0
+        for attempt in range(1, attempts + 1):
+            try:
+                data = yield from self.paths[piece.disk].read(piece.lba,
+                                                              piece.nsectors)
+                return data
+            except DiskFailedError:
+                data = yield from self._degraded_read(piece)
+                return data
+            except MediumError:
+                data = yield from self._heal_read(piece)
+                return data
+            except TransientDiskError:
+                self.transient_retries += 1
+                self._m_transient_retries.inc()
+                if attempt == attempts:
+                    data = yield from self._degraded_read(piece)
+                    return data
+            yield self.sim.timeout(backoff)
+            backoff *= policy.backoff_factor
 
     # ------------------------------------------------------------------
     # degraded read: XOR of every other unit in the row
     # ------------------------------------------------------------------
     def _degraded_read(self, piece: Piece):
         self.degraded_reads += 1
+        self._m_degraded_reads.inc()
         data = yield from self._reconstruct_range(
             piece.row, piece.disk,
             piece.unit_offset // SECTOR_SIZE, piece.nsectors)
+        return data
+
+    def _heal_read(self, piece: Piece):
+        """Process: reconstruct past a medium error, then write back.
+
+        The write-back (best-effort) heals the latent sectors — the
+        drive remaps them on write — so subsequent reads go direct.
+        """
+        data = yield from self._degraded_read(piece)
+        if not self.paths[piece.disk].disk.failed:
+            try:
+                yield from self.paths[piece.disk].write(piece.lba, data)
+                self.media_error_heals += 1
+                self._m_media_error_heals.inc()
+            except (DiskFailedError, TransientDiskError):
+                pass
         return data
 
     def _reconstruct_range(self, row: int, failed_disk: int,
@@ -307,7 +461,7 @@ class Raid5Controller(_BaseController):
         """Process: rebuild ``nsectors`` of ``failed_disk``'s unit in ``row``."""
         others = self._surviving(self._row_disks(row), failed_disk, row)
         lba = self.layout.row_lba(row) + sector_offset
-        procs = [self.sim.process(self.paths[disk].read(lba, nsectors))
+        procs = [self.sim.process(self._read_unit(disk, lba, nsectors))
                  for disk in others]
         blocks = yield self.sim.all_of(procs)
         parity = yield from self.parity.compute(blocks)
@@ -370,8 +524,8 @@ class Raid5Controller(_BaseController):
         def parity_then_write():
             parity_block = yield parity_proc
             if not self.paths[parity_disk].disk.failed:
-                yield from self.paths[parity_disk].write(parity_lba,
-                                                         parity_block)
+                yield from self._data_write(parity_disk, parity_lba,
+                                            parity_block)
 
         procs.append(self.sim.process(parity_then_write()))
         yield self.sim.all_of(procs)
@@ -387,7 +541,8 @@ class Raid5Controller(_BaseController):
         parity_disk = layout.parity_disk(row)
         lba = self.layout.row_lba(row)
         data_writes = [
-            self.sim.process(self.paths[piece.disk].write(piece.lba, payload))
+            self.sim.process(self._data_write(piece.disk, piece.lba,
+                                              payload))
             for piece, payload in zip(ordered, unit_payloads)
             if not self.paths[piece.disk].disk.failed
         ]
@@ -409,8 +564,8 @@ class Raid5Controller(_BaseController):
         if parity_failed:
             # No parity to maintain: just write the surviving data.
             procs = [
-                self.sim.process(self.paths[p.disk].write(
-                    p.lba, self._payload_of(p, offset, data)))
+                self.sim.process(self._data_write(
+                    p.disk, p.lba, self._payload_of(p, offset, data)))
                 for p in pieces
             ]
             yield self.sim.all_of(procs)
@@ -424,10 +579,17 @@ class Raid5Controller(_BaseController):
         row_bytes = (self.layout.data_units_per_row
                      * self.layout.stripe_unit_bytes)
         covered = sum(piece.nbytes for piece in pieces)
-        if covered * 2 > row_bytes:
-            yield from self._reconstruct_write(row, pieces, offset, data)
-        else:
-            yield from self._rmw_write(row, pieces, offset, data)
+        try:
+            if covered * 2 > row_bytes:
+                yield from self._reconstruct_write(row, pieces, offset, data)
+            else:
+                yield from self._rmw_write(row, pieces, offset, data)
+        except (DiskFailedError, MediumError):
+            # A disk died (or surfaced a latent error) under the
+            # healthy-path update, before any new data landed on it.
+            # Redo the row degraded: any already-spawned sibling writes
+            # carry identical bytes, so the redo is idempotent.
+            yield from self._degraded_row_write(row, pieces, offset, data)
         return None
 
     def _any_row_disk_failed(self, row: int) -> bool:
@@ -450,10 +612,10 @@ class Raid5Controller(_BaseController):
         parity_sectors = (hi - lo) // SECTOR_SIZE
 
         read_procs = [self.sim.process(
-            self.paths[piece.disk].read(piece.lba, piece.nsectors))
+            self._read_unit(piece.disk, piece.lba, piece.nsectors))
             for piece in pieces]
         read_procs.append(self.sim.process(
-            self.paths[parity_disk].read(parity_lba, parity_sectors)))
+            self._read_unit(parity_disk, parity_lba, parity_sectors)))
         old_values = yield self.sim.all_of(read_procs)
         old_data, old_parity = old_values[:-1], old_values[-1]
 
@@ -469,8 +631,8 @@ class Raid5Controller(_BaseController):
             deltas.append(delta)
 
         data_writes = [self.sim.process(
-            self.paths[piece.disk].write(
-                piece.lba, self._payload_of(piece, offset, data)))
+            self._data_write(piece.disk, piece.lba,
+                             self._payload_of(piece, offset, data)))
             for piece in pieces]
         yield from self._write_with_parity(
             data_writes, parity_disk, parity_lba, [old_parity] + deltas)
@@ -502,8 +664,8 @@ class Raid5Controller(_BaseController):
             if sum(p.nbytes for p in unit_pieces) == unit
         }
         data_writes = [self.sim.process(
-            self.paths[piece.disk].write(
-                piece.lba, self._payload_of(piece, offset, data)))
+            self._data_write(piece.disk, piece.lba,
+                             self._payload_of(piece, offset, data)))
             for piece in pieces
             if self._unit_index_in_row(row, piece.disk) in fully_covered]
 
@@ -512,7 +674,7 @@ class Raid5Controller(_BaseController):
             if k not in fully_covered
         ]
         read_procs = [self.sim.process(
-            self.paths[layout.data_disk(row, k)].read(lba, nsectors))
+            self._read_unit(layout.data_disk(row, k), lba, nsectors))
             for k in fetch_units]
         old_blocks = yield self.sim.all_of(read_procs)
 
@@ -530,8 +692,8 @@ class Raid5Controller(_BaseController):
         # Partially-covered units rewrite their new extents now that
         # their old contents have been captured.
         data_writes += [self.sim.process(
-            self.paths[piece.disk].write(
-                piece.lba, self._payload_of(piece, offset, data)))
+            self._data_write(piece.disk, piece.lba,
+                             self._payload_of(piece, offset, data)))
             for piece in pieces
             if self._unit_index_in_row(row, piece.disk) not in fully_covered]
         yield from self._write_with_parity(data_writes, parity_disk, lba,
@@ -554,6 +716,8 @@ class Raid5Controller(_BaseController):
         lba = self.layout.row_lba(row)
         nsectors = self.layout.unit_sectors
 
+        self.degraded_writes += 1
+        self._m_degraded_writes.inc()
         units: list[bytes] = []  # old images, kept to skip unchanged units
         for k in range(self.layout.data_units_per_row):
             disk = layout.data_disk(row, k)
@@ -561,7 +725,11 @@ class Raid5Controller(_BaseController):
                 block = yield from self._reconstruct_range(row, disk, 0,
                                                            nsectors)
             else:
-                block = yield from self.paths[disk].read(lba, nsectors)
+                try:
+                    block = yield from self._read_unit(disk, lba, nsectors)
+                except (DiskFailedError, MediumError):
+                    block = yield from self._reconstruct_range(row, disk, 0,
+                                                               nsectors)
             units.append(block)
 
         images = [bytearray(block) for block in units]
@@ -581,9 +749,9 @@ class Raid5Controller(_BaseController):
             if final[k] == units[k]:
                 continue  # unchanged unit
             procs.append(self.sim.process(
-                self.paths[disk].write(lba, final[k])))
+                self._data_write(disk, lba, final[k])))
         procs.append(self.sim.process(
-            self.paths[parity_disk].write(lba, parity_block)))
+            self._data_write(parity_disk, lba, parity_block)))
         yield self.sim.all_of(procs)
         return None
 
@@ -621,12 +789,14 @@ class Raid5Controller(_BaseController):
                                                  disk_index, row)
                         lba = self.layout.row_lba(row)
                         procs = [self.sim.process(
-                            self.paths[d].read(lba, nsectors))
+                            self._read_unit(d, lba, nsectors))
                             for d in others]
                         blocks = yield self.sim.all_of(procs)
                         unit = yield from self.parity.compute(blocks)
-                        yield from self.paths[disk_index].write(lba, unit)
+                        yield from self._data_write(
+                            disk_index, lba, unit, tolerate_failure=False)
                         self._rebuild_frontier[disk_index] = row + 1
+                        self._m_rebuilt_rows.inc()
                     finally:
                         lock.release()
         finally:
@@ -664,14 +834,17 @@ class Raid3Controller(_BaseController):
     """
 
     def __init__(self, sim: Simulator, paths: Sequence,
-                 parity_computer=None, name: str = "raid3"):
+                 parity_computer=None, name: str = "raid3",
+                 retry: Optional[RetryPolicy] = DEFAULT_RETRY_POLICY):
         capacity = min(path.disk.spec.capacity_bytes for path in paths)
         layout = Raid3Layout(len(paths), capacity)
-        super().__init__(sim, paths, layout, name)
+        super().__init__(sim, paths, layout, name, retry=retry)
         self._layout3 = layout
         self.parity = parity_computer if parity_computer is not None \
             else InstantParity()
         self._array_lock = Resource(sim, capacity=1, name=f"{name}.lock")
+        #: disk index -> first row NOT yet rebuilt (see Raid5Controller).
+        self._rebuild_frontier: dict[int, int] = {}
 
     @property
     def row_bytes(self) -> int:
@@ -682,15 +855,54 @@ class Raid3Controller(_BaseController):
         last = (offset + nbytes - 1) // self.row_bytes
         return first, last
 
+    def _untrusted(self, disk: int, first_row: int, nrows: int) -> bool:
+        """True when ``disk``'s copy of the extent cannot be trusted."""
+        if self.paths[disk].disk.failed:
+            return True
+        frontier = self._rebuild_frontier.get(disk)
+        return frontier is not None and first_row + nrows > frontier
+
     def _read_rows(self, first_row: int, last_row: int):
         """Process: read full rows from all data disks; returns buffers."""
         nrows = last_row - first_row + 1
         procs = [
-            self.sim.process(self.paths[d].read(first_row, nrows))
+            self.sim.process(self._read_disk_rows(d, first_row, nrows))
             for d in range(self.layout.data_units_per_row)
         ]
         buffers = yield self.sim.all_of(procs)
         return buffers
+
+    def _read_disk_rows(self, disk: int, first_row: int, nrows: int):
+        """Process: one data disk's share of a row span, healed through
+        parity when the disk is down, mid-rebuild or erroring."""
+        if self._untrusted(disk, first_row, nrows):
+            data = yield from self._reconstruct_rows(disk, first_row, nrows)
+            return data
+        try:
+            data = yield from self._read_unit(disk, first_row, nrows)
+            return data
+        except (DiskFailedError, MediumError):
+            data = yield from self._reconstruct_rows(disk, first_row, nrows)
+            return data
+
+    def _reconstruct_rows(self, missing: int, first_row: int, nrows: int):
+        """Process: XOR a missing disk's rows from the others + parity."""
+        self.degraded_reads += 1
+        self._m_degraded_reads.inc()
+        ndisks = self.layout.data_units_per_row
+        others = [d for d in range(ndisks) if d != missing]
+        parity_disk = self._layout3.parity_disk(0)
+        if parity_disk != missing:
+            others.append(parity_disk)
+        for d in others:
+            if self._untrusted(d, first_row, nrows):
+                raise UnrecoverableArrayError(
+                    f"{self.name}: second failure on disk {d}")
+        procs = [self.sim.process(self._read_unit(d, first_row, nrows))
+                 for d in others]
+        blocks = yield self.sim.all_of(procs)
+        data = yield from self.parity.compute(blocks)
+        return data
 
     @staticmethod
     def _interleave(buffers: list[bytes]) -> bytes:
@@ -755,16 +967,63 @@ class Raid3Controller(_BaseController):
                 buffers = self._deinterleave(logical, ndisks)
                 parity = yield from self.parity.compute(buffers)
                 procs = [
-                    self.sim.process(self.paths[d].write(first, buffers[d]))
+                    self.sim.process(self._data_write(d, first, buffers[d]))
                     for d in range(ndisks)
                 ]
                 parity_disk = self._layout3.parity_disk(0)
                 procs.append(self.sim.process(
-                    self.paths[parity_disk].write(first, parity)))
+                    self._data_write(parity_disk, first, parity)))
                 yield self.sim.all_of(procs)
                 return None
             finally:
                 self._array_lock.release()
+
+    def rebuild(self, disk_index: int, max_rows: Optional[int] = None):
+        """Process: reconstruct a replaced disk (data or parity).
+
+        Rows are rebuilt in chunks under the array lock, so client I/O
+        interleaves between chunks; the frontier keeps reads of the
+        not-yet-rebuilt remainder on the reconstruction path (a
+        repaired disk is blank, not failed, so without the frontier
+        those reads would silently return zeros).
+        """
+        rows = self.layout.rows if max_rows is None else min(
+            self.layout.rows, max_rows)
+        chunk_rows = 128
+        ndisks = self.layout.data_units_per_row
+        sources = [d for d in range(ndisks) if d != disk_index]
+        parity_disk = self._layout3.parity_disk(0)
+        if parity_disk != disk_index:
+            sources.append(parity_disk)
+        self._rebuild_frontier[disk_index] = 0
+        try:
+            with self.sim.tracer.span("raid.rebuild", self.name,
+                                      disk=disk_index, rows=rows):
+                row = 0
+                while row < rows:
+                    nrows = min(chunk_rows, rows - row)
+                    yield self._array_lock.acquire()
+                    try:
+                        for d in sources:
+                            if self.paths[d].disk.failed:
+                                raise UnrecoverableArrayError(
+                                    f"{self.name}: second failure on "
+                                    f"disk {d}")
+                        procs = [self.sim.process(
+                            self._read_unit(d, row, nrows))
+                            for d in sources]
+                        blocks = yield self.sim.all_of(procs)
+                        unit = yield from self.parity.compute(blocks)
+                        yield from self._data_write(
+                            disk_index, row, unit, tolerate_failure=False)
+                        self._rebuild_frontier[disk_index] = row + nrows
+                        self._m_rebuilt_rows.inc(nrows)
+                    finally:
+                        self._array_lock.release()
+                    row += nrows
+        finally:
+            del self._rebuild_frontier[disk_index]
+        return None
 
     def verify_parity(self, max_rows: Optional[int] = None) -> bool:
         """Instant check of the dedicated parity disk."""

@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.experiments import (base, fig6_hippi_loopback, fig7_string_scaling,
+from repro.experiments import (base, fig5_degraded, fig6_hippi_loopback,
+                               fig7_string_scaling, rebuild_under_load,
                                vme_ports)
 from repro.experiments.base import ExperimentResult, Point, Series
 
@@ -61,3 +62,24 @@ def test_fig6_quick():
     series = result.series_named("loopback throughput")
     ys = [point.y for point in series.points]
     assert ys == sorted(ys)  # monotone in transfer size
+
+
+def test_fig5_degraded_quick():
+    result = fig5_degraded.run(quick=True)
+    assert result.experiment_id == "fig5-degraded"
+    scalars = result.scalars
+    assert scalars["healthy_plateau_mb_s"] > 0
+    assert 0 < scalars["degraded_fraction"] <= 1.0
+    assert scalars["degraded_reads_total"] > 0
+    assert scalars["parity_clean_after_rebuild"] == 1.0
+
+
+def test_rebuild_under_load_quick():
+    result = rebuild_under_load.run(quick=True)
+    assert result.experiment_id == "rebuild-under-load"
+    scalars = result.scalars
+    assert scalars["rebuild_idle_mb_s"] > 0
+    # Contention slows both sides; neither should stall outright.
+    assert 0 < scalars["rebuild_slowdown_fraction"] <= 1.0
+    assert 0 < scalars["client_slowdown_fraction"] <= 1.0
+    assert scalars["parity_clean_after_rebuild"] == 1.0

@@ -1,0 +1,125 @@
+"""Crash-consistency sweep: crash at every device-write boundary.
+
+A scripted LFS workload is first run against a
+:class:`CrashableDevice` with an *empty* plan to count its device
+writes; then, for every ``n`` up to that count, a fresh stack is built
+and crashed at write ``n`` via :class:`HostCrash`.  The media snapshot
+carried by the :class:`CrashPoint` is laid onto another fresh stack,
+remounted (LFS roll-forward), and checked with the offline fsck — and,
+on the RAID stack, a parity scrub.
+"""
+
+import dataclasses
+import random
+
+from repro.errors import CrashPoint
+from repro.faults import (CrashableDevice, FaultInjector, FaultPlan,
+                          HostCrash, restore_media)
+from repro.hw import IBM_0661, DiskDrive
+from repro.hw.specs import LFS_SPEC
+from repro.lfs import LogStructuredFS
+from repro.raid import DirectDiskPath, Raid5Controller
+from repro.sim import Simulator
+from repro.testing import (MemoryDevice, assert_fs_consistent,
+                           assert_parity_clean)
+from repro.units import KIB, MIB
+
+FAST_SPEC = dataclasses.replace(LFS_SPEC, segment_bytes=128 * KIB,
+                                fs_overhead_s=0.0, small_write_overhead_s=0.0)
+SMALL_DISK = dataclasses.replace(IBM_0661, capacity_bytes=4 * MIB)
+UNIT = 16 * KIB
+
+
+def pattern(nbytes, seed):
+    return random.Random(seed).randbytes(nbytes)
+
+
+def _mem_stack(sim):
+    """(device, controller-or-None, segment alignment)."""
+    return MemoryDevice(sim, 8 * MIB), None, None
+
+
+def _raid_stack(sim):
+    paths = [DirectDiskPath(DiskDrive(sim, SMALL_DISK, name=f"d{i}"))
+             for i in range(5)]
+    ctrl = Raid5Controller(sim, paths, UNIT)
+    row_bytes = ctrl.layout.data_units_per_row * ctrl.stripe_unit_bytes
+    return ctrl, ctrl, row_bytes
+
+
+def _workload(fs):
+    yield from fs.create("/a")
+    for index in range(4):
+        yield from fs.write("/a", index * 24 * KIB,
+                            pattern(24 * KIB, seed=30 + index))
+        yield from fs.sync()
+    yield from fs.create("/b")
+    yield from fs.write("/b", 0, pattern(40 * KIB, seed=50))
+    yield from fs.sync()
+    yield from fs.checkpoint()
+
+
+def _run_until_crash(make_stack, plan):
+    """Format, mount through a crashable wrapper, run the workload.
+
+    Returns ``(injector, crash-or-None)``.
+    """
+    sim = Simulator()
+    device, _ctrl, align = make_stack(sim)
+    formatter = LogStructuredFS(sim, device, spec=FAST_SPEC, max_inodes=64,
+                                align_segments_to=align)
+    sim.run_process(formatter.format())
+
+    injector = FaultInjector(sim, plan)
+    wrapped = CrashableDevice(device, injector)
+    fs = LogStructuredFS(sim, wrapped, spec=FAST_SPEC, max_inodes=64,
+                         align_segments_to=align)
+    try:
+        sim.run_process(fs.mount())
+        sim.run_process(_workload(fs))
+    except CrashPoint as crash:
+        return injector, crash
+    return injector, None
+
+
+def _recover(make_stack, snapshot):
+    """Fresh stack + snapshot + remount; returns (fs, controller)."""
+    sim = Simulator()
+    device, ctrl, align = make_stack(sim)
+    restore_media(snapshot, device)
+    fs = LogStructuredFS(sim, device, spec=FAST_SPEC, max_inodes=64,
+                         align_segments_to=align)
+    sim.run_process(fs.mount())
+    return fs, ctrl
+
+
+def _sweep(make_stack, torn_fraction):
+    baseline, crash = _run_until_crash(make_stack, FaultPlan())
+    assert crash is None
+    total = baseline.device_writes
+    assert total >= 6, f"workload too small to sweep ({total} writes)"
+
+    for nth in range(1, total + 1):
+        plan = FaultPlan.of(HostCrash(nth_write=nth,
+                                      torn_fraction=torn_fraction))
+        injector, crash = _run_until_crash(make_stack, plan)
+        assert crash is not None, f"crash #{nth} never fired"
+        assert injector.crashed
+        assert crash.snapshot is not None
+
+        fs, ctrl = _recover(make_stack, crash.snapshot)
+        assert_fs_consistent(fs)
+        if ctrl is not None:
+            assert_parity_clean(ctrl)
+
+
+def test_crash_at_every_write_boundary_memory_device():
+    _sweep(_mem_stack, torn_fraction=0.0)
+
+
+def test_crash_with_torn_writes_memory_device():
+    _sweep(_mem_stack, torn_fraction=0.5)
+
+
+def test_crash_at_every_write_boundary_raid5():
+    _sweep(_raid_stack, torn_fraction=0.0)

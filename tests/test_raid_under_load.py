@@ -161,3 +161,40 @@ def test_many_small_concurrent_ops_keep_parity_consistent():
         sim.process(worker(seed))
     sim.run()
     assert ctrl.verify_parity()
+
+
+def test_rebuild_race_with_fault_plan_replays_identically():
+    # Writes racing the rebuild frontier while an armed transient plan
+    # fires: the whole tangle must replay bit-identically under the
+    # determinism trace, land the written bytes, and scrub clean.
+    from repro.faults import FaultPlan, TransientFault, attach_array
+    from tests.test_sim_determinism import _traced
+
+    def run():
+        sim = Simulator()
+        paths, ctrl = make_array(sim)
+        base = pattern(40 * UNIT, seed=9)
+        sim.run_process(ctrl.write(0, base))
+        paths[1].disk.fail()
+        paths[1].disk.repair()
+        attach_array(FaultPlan.of(TransientFault(disk="d3", count=2)), ctrl)
+        update = pattern(5 * UNIT, seed=10)
+
+        def writer():
+            yield from ctrl.write(20 * UNIT, update)
+
+        rebuild_proc = sim.process(ctrl.rebuild(1, max_rows=12))
+        sim.process(writer())
+        sim.run()
+        assert rebuild_proc.processed
+        assert ctrl.verify_parity(max_rows=12)
+        data = sim.run_process(ctrl.read(0, 40 * UNIT))
+        return data
+
+    result_a, trace_a = _traced(run)
+    result_b, trace_b = _traced(run)
+    assert trace_a == trace_b
+    expected = bytearray(pattern(40 * UNIT, seed=9))
+    expected[20 * UNIT:25 * UNIT] = pattern(5 * UNIT, seed=10)
+    assert result_a == bytes(expected)
+    assert result_b == bytes(expected)

@@ -10,6 +10,7 @@ a ``(time, kind, event-type, component)`` tuple.
 
 from __future__ import annotations
 
+import gc
 import heapq
 
 from repro.sim.core import _KIND_INTERRUPT
@@ -25,6 +26,10 @@ def _component_of(kind: int, obj) -> str | None:
 def _traced(run):
     """Run ``run()`` with every heap push recorded; returns
     (result, [(time, kind, event_type, component), ...])."""
+    # The hook is a global chokepoint: abandoned generators from other
+    # tests push cleanup wakeups into their own (dead) sims' heaps when
+    # the GC finalizes them, polluting the trace.  Flush them first.
+    gc.collect()
     trace: list[tuple] = []
     original = heapq.heappush
 
@@ -115,3 +120,34 @@ def test_trace_captures_every_scheduling_kind():
     names = {entry[3] for entry in trace if entry[3] is not None}
     assert {"sleeper", "waker"} <= names
     _assert_identical_twice(run)
+
+
+def test_empty_fault_plan_leaves_fingerprint_bit_identical():
+    # Arming an empty FaultPlan installs the pull hooks on every disk,
+    # string and port — but the injector never schedules, so the
+    # heappush fingerprint must be bit-identical to an unarmed run.
+    import random
+
+    from repro.faults import FaultPlan, attach_server
+    from repro.server import Raid2Config, Raid2Server
+    from repro.sim import Simulator
+    from repro.workloads import random_aligned_offsets, run_request_stream
+
+    def measure(armed: bool):
+        sim = Simulator()
+        server = Raid2Server(sim, Raid2Config.paper_default())
+        if armed:
+            attach_server(FaultPlan(), server)
+        rng = random.Random(7)
+        requests = random_aligned_offsets(
+            rng, server.raid.capacity_bytes, 256 * KIB, 4, alignment=512)
+
+        def op(offset, nbytes):
+            yield from server.hw_read(offset, nbytes)
+
+        return run_request_stream(sim, op, requests).mb_per_s
+
+    result_plain, trace_plain = _traced(lambda: measure(False))
+    result_armed, trace_armed = _traced(lambda: measure(True))
+    assert result_armed == result_plain
+    assert trace_armed == trace_plain
